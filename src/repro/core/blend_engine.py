@@ -1,0 +1,240 @@
+"""BlendEngine: the public façade of the CacheBlend reproduction.
+
+The engine ties together the tokenizer, the runnable proxy transformer (for
+KV fusion and deviation measurement), the KV cache store, the loading
+controller and the analytical serving cost model (for TTFT estimates on the
+paper's real model architectures).
+
+Typical use::
+
+    engine = BlendEngine.build(paper_model="Mistral-7B", device="nvme_ssd")
+    engine.precompute_chunks(["chunk one text ...", "chunk two text ..."])
+    result = engine.run(["chunk one text ...", "chunk two text ..."],
+                        question="who proposed using RAG?")
+    print(result.ttft, result.fusion.mean_recompute_fraction)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.controller import ControllerDecision, LoadingController
+from repro.core.fusor import FusionResult, FusorConfig, KVFusor
+from repro.kvstore.device import DEVICE_PRESETS, StorageDevice, get_device
+from repro.kvstore.store import KVCacheStore, chunk_key
+from repro.model.config import MODEL_PRESETS, PAPER_MODEL_PAIRS, ModelConfig, get_config
+from repro.model.transformer import TransformerModel
+from repro.serving.costmodel import GPUSpec, ServingCostModel
+from repro.tokenizer.tokenizer import Tokenizer
+
+
+@dataclass
+class BlendResult:
+    """Outcome of answering one request through CacheBlend."""
+
+    fusion: FusionResult
+    ttft: float
+    decision: ControllerDecision
+    cache_hits: int
+    cache_misses: int
+    generated_ids: list[int] = field(default_factory=list)
+    n_context_tokens: int = 0
+    n_suffix_tokens: int = 0
+
+    @property
+    def n_total_tokens(self) -> int:
+        return self.n_context_tokens + self.n_suffix_tokens
+
+
+class BlendEngine:
+    """End-to-end CacheBlend engine over a chunk store and a proxy model."""
+
+    def __init__(
+        self,
+        model: TransformerModel,
+        tokenizer: Tokenizer,
+        kv_store: KVCacheStore,
+        controller: LoadingController,
+        fusor_config: FusorConfig | None = None,
+        timing_model: ModelConfig | None = None,
+    ) -> None:
+        self.model = model
+        self.tokenizer = tokenizer
+        self.kv_store = kv_store
+        self.controller = controller
+        self.fusor = KVFusor(model, fusor_config or FusorConfig())
+        #: Architecture used for the TTFT estimates (defaults to the proxy).
+        self.timing_model = timing_model or model.config
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        paper_model: str = "Mistral-7B",
+        device: str | StorageDevice = "nvme_ssd",
+        recompute_ratio: float = 0.15,
+        seed: int = 0,
+        n_gpus: int | None = None,
+        store_capacity_bytes: int | None = None,
+        vocab_size: int | None = None,
+    ) -> "BlendEngine":
+        """Build an engine for one of the paper's evaluated models.
+
+        ``paper_model`` must be one of ``Mistral-7B``, ``Yi-34B`` or
+        ``Llama-70B``; the proxy configuration runs the actual NumPy forward
+        pass while the corresponding architecture preset drives the timing.
+        """
+        if paper_model not in PAPER_MODEL_PAIRS:
+            known = ", ".join(sorted(PAPER_MODEL_PAIRS))
+            raise KeyError(f"unknown paper model {paper_model!r}; known: {known}")
+        proxy_name, timing_name = PAPER_MODEL_PAIRS[paper_model]
+        proxy_config = get_config(proxy_name)
+        if vocab_size is not None:
+            proxy_config = ModelConfig(
+                **{**proxy_config.__dict__, "vocab_size": vocab_size}
+            )
+        timing_config = get_config(timing_name)
+        if n_gpus is None:
+            n_gpus = 2 if paper_model == "Llama-70B" else 1
+
+        model = TransformerModel(proxy_config, seed=seed)
+        tokenizer = Tokenizer(vocab_size=proxy_config.vocab_size)
+        storage = device if isinstance(device, StorageDevice) else get_device(device)
+        kv_store = KVCacheStore(
+            device=storage,
+            dtype_bytes=timing_config.dtype_bytes,
+            capacity_bytes=store_capacity_bytes,
+        )
+        cost_model = ServingCostModel(timing_config, GPUSpec(), n_gpus=n_gpus)
+        controller = LoadingController(cost_model, min_quality_ratio=recompute_ratio)
+        return cls(
+            model=model,
+            tokenizer=tokenizer,
+            kv_store=kv_store,
+            controller=controller,
+            fusor_config=FusorConfig(recompute_ratio=recompute_ratio),
+            timing_model=timing_config,
+        )
+
+    # ------------------------------------------------------------------
+    # Chunk precomputation
+    # ------------------------------------------------------------------
+    def chunk_cache_key(self, token_ids: np.ndarray) -> str:
+        return chunk_key(token_ids, model_name=self.model.config.name)
+
+    def precompute_chunk(self, text: str) -> str:
+        """Tokenize, prefill and store one chunk; returns its cache key."""
+        token_ids = np.asarray(self.tokenizer.encode(text), dtype=np.int64)
+        if token_ids.size == 0:
+            raise ValueError("cannot precompute an empty chunk")
+        key = self.chunk_cache_key(token_ids)
+        if not self.kv_store.contains(key):
+            cache = self.model.chunk_prefill(token_ids, start_position=0)
+            self.kv_store.put(key, cache)
+        return key
+
+    def precompute_chunks(self, texts: list[str]) -> list[str]:
+        """Precompute and store the KV caches of several chunks."""
+        return [self.precompute_chunk(text) for text in texts]
+
+    # ------------------------------------------------------------------
+    # Request execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        chunk_texts: list[str],
+        question: str,
+        recompute_ratio: float | None = None,
+        max_new_tokens: int = 0,
+        candidate_devices: list[StorageDevice] | None = None,
+    ) -> BlendResult:
+        """Answer one request whose input is *chunk_texts* followed by *question*.
+
+        Chunks missing from the KV store are prefilled on the fly (counted as
+        misses, and charged as full prefill in the TTFT estimate, exactly like
+        a cold chunk would be in the real system) and inserted for future
+        requests.
+        """
+        if not chunk_texts:
+            raise ValueError("run() needs at least one context chunk")
+        if not question.strip():
+            raise ValueError("run() needs a non-empty question")
+
+        chunk_caches = []
+        hits = 0
+        misses = 0
+        miss_tokens = 0
+        context_tokens = 0
+        for text in chunk_texts:
+            token_ids = np.asarray(self.tokenizer.encode(text), dtype=np.int64)
+            context_tokens += int(token_ids.size)
+            key = self.chunk_cache_key(token_ids)
+            cached = self.kv_store.get(key)
+            if cached is None:
+                misses += 1
+                miss_tokens += int(token_ids.size)
+                cached = self.model.chunk_prefill(token_ids, start_position=0)
+                self.kv_store.put(key, cached)
+            else:
+                hits += 1
+            chunk_caches.append(cached)
+
+        suffix_ids = np.asarray(self.tokenizer.encode(question), dtype=np.int64)
+
+        decision = self.controller.decide(
+            n_context_tokens=context_tokens,
+            n_suffix_tokens=int(suffix_ids.size),
+            devices=candidate_devices,
+            device=None if candidate_devices else self.kv_store.device,
+        )
+        ratio = recompute_ratio if recompute_ratio is not None else decision.recompute_ratio
+
+        fusion = self.fusor.fuse(chunk_caches, suffix_ids, recompute_ratio=ratio)
+
+        ttft = self._estimate_ttft(
+            context_tokens, int(suffix_ids.size), miss_tokens, ratio, decision.device
+        )
+
+        generated: list[int] = []
+        if max_new_tokens > 0:
+            generated = self.model.generate(
+                fusion.kv_cache,
+                fusion.last_logits,
+                max_new_tokens=max_new_tokens,
+                eos_id=self.tokenizer.eos_id,
+            )
+
+        return BlendResult(
+            fusion=fusion,
+            ttft=ttft,
+            decision=decision,
+            cache_hits=hits,
+            cache_misses=misses,
+            generated_ids=generated,
+            n_context_tokens=context_tokens,
+            n_suffix_tokens=int(suffix_ids.size),
+        )
+
+    # ------------------------------------------------------------------
+    def _estimate_ttft(
+        self,
+        n_context: int,
+        n_suffix: int,
+        n_miss: int,
+        ratio: float,
+        device: StorageDevice,
+    ) -> float:
+        """TTFT estimate on the paper architecture, including cold-chunk cost."""
+        cost_model = self.controller.cost_model
+        n_total = n_context + n_suffix
+        ttft = cost_model.ttft_cacheblend(n_total, n_suffix, ratio, device, pipelined=True)
+        if n_miss > 0:
+            # Cold chunks must be prefilled (they are then stored for later).
+            ttft += cost_model.prefill_time(n_miss)
+        # Include the first decode step, as TTFT is measured to the first token.
+        ttft += cost_model.decode_time_per_token(context_tokens=n_total)
+        return ttft

@@ -1,0 +1,358 @@
+"""The KV cache fusor: selective KV recompute over fused chunk caches.
+
+Given the precomputed KV caches of the chunks appearing in an LLM input plus
+the new suffix (the user question), the fusor produces a fused KV cache whose
+forward attention matrix is close to what a full prefill would have produced,
+while recomputing only a small fraction of tokens per layer:
+
+1. re-align every chunk cache to its position in the fused input and
+   concatenate them (the "full KV reuse" starting point);
+2. fully recompute layer 0 and measure each token's KV deviation against the
+   loaded cache;
+3. on every subsequent layer, recompute only the High-KV-Deviation tokens
+   (gradual filtering, paper §4.3 / Figure 9) together with the suffix tokens,
+   merging the freshly computed K/V entries into the reused layer cache.
+
+The fusor reports per-layer forward attention matrices, recompute counts and
+deviation statistics so the paper's analysis figures (6, 7, 8, 16) can be
+regenerated directly from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.deviation import token_kv_deviation
+from repro.core.hkvd import HKVDSelector
+from repro.core.positional import realign_chunk_cache
+from repro.model.tensors import KVCache, LayerKV
+from repro.model.transformer import TransformerModel
+
+
+@dataclass(frozen=True)
+class FusorConfig:
+    """Configuration of the selective KV recompute.
+
+    Attributes
+    ----------
+    recompute_ratio:
+        Target fraction of tokens whose KV is recomputed per layer (the
+        paper's default operating point is 0.15).
+    boost / floor:
+        Gradual-filtering schedule shape (first selective layer picks
+        ``boost * ratio``, last picks ``floor * ratio``).
+    query_window:
+        Number of trailing tokens whose attention rows form the forward
+        attention matrix used for deviation reporting.
+    recompute_first_layer:
+        Whether layer 0 is fully recomputed to seed HKVD selection (the
+        paper's scheme).  Disabling it falls back to selecting HKVD tokens
+        randomly, which is only useful for ablations.
+    """
+
+    recompute_ratio: float = 0.15
+    boost: float = 1.5
+    floor: float = 0.8
+    query_window: int = 8
+    recompute_first_layer: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.recompute_ratio <= 1.0:
+            raise ValueError("recompute_ratio must be in [0, 1]")
+        if self.query_window < 0:
+            raise ValueError("query_window must be >= 0")
+
+
+@dataclass
+class FusionResult:
+    """Everything produced by one fusion pass."""
+
+    kv_cache: KVCache
+    last_logits: np.ndarray
+    token_ids: np.ndarray
+    positions: np.ndarray
+    suffix_start: int
+    forward_attention: list[np.ndarray]
+    selected_per_layer: list[np.ndarray]
+    recompute_counts: list[int]
+    layer_deviations: list[np.ndarray] = field(default_factory=list)
+    first_layer_deviation: np.ndarray | None = None
+
+    @property
+    def n_tokens(self) -> int:
+        return int(self.token_ids.size)
+
+    @property
+    def mean_recompute_fraction(self) -> float:
+        """Average fraction of tokens recomputed per layer (incl. layer 0)."""
+        if not self.recompute_counts or self.n_tokens == 0:
+            return 0.0
+        return float(np.mean(self.recompute_counts) / self.n_tokens)
+
+
+class KVFusor:
+    """Fuses precomputed chunk KV caches via selective recompute."""
+
+    def __init__(self, model: TransformerModel, config: FusorConfig | None = None) -> None:
+        self.model = model
+        self.config = config or FusorConfig()
+
+    # ------------------------------------------------------------------
+    def fuse(
+        self,
+        chunk_caches: list[KVCache],
+        suffix_token_ids: np.ndarray,
+        recompute_ratio: float | None = None,
+    ) -> FusionResult:
+        """Fuse *chunk_caches* followed by the new *suffix_token_ids*.
+
+        Parameters
+        ----------
+        chunk_caches:
+            Precomputed KV caches of the context chunks, in the order they
+            appear in the LLM input.  Each must carry its token ids and the
+            positions it was precomputed at.
+        suffix_token_ids:
+            Token ids of the new text (user question) appended after the
+            chunks; they have no precomputed KV and are always recomputed.
+        recompute_ratio:
+            Optional override of the configured recompute ratio (used by the
+            loading controller, which adapts the ratio to the storage device).
+        """
+        if not chunk_caches:
+            raise ValueError("fuse() requires at least one chunk cache")
+        suffix_token_ids = np.asarray(suffix_token_ids, dtype=np.int64)
+        ratio = self.config.recompute_ratio if recompute_ratio is None else recompute_ratio
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError("recompute_ratio must be in [0, 1]")
+
+        reused, token_ids, positions, suffix_start = self._assemble(
+            chunk_caches, suffix_token_ids
+        )
+        n_tokens = token_ids.size
+        suffix_indices = np.arange(suffix_start, n_tokens, dtype=np.int64)
+
+        selector = HKVDSelector(
+            target_ratio=ratio,
+            n_layers=self.model.config.n_layers,
+            boost=self.config.boost,
+            floor=self.config.floor,
+            always_include=suffix_indices,
+        )
+
+        hidden = self.model.embed(token_ids)
+        fused_layers: list[LayerKV] = []
+        forward_attention: list[np.ndarray] = []
+        selected_per_layer: list[np.ndarray] = []
+        recompute_counts: list[int] = []
+        layer_deviations: list[np.ndarray] = []
+        first_layer_deviation: np.ndarray | None = None
+
+        # ---- layer 0: full recompute to seed HKVD selection -------------
+        out0 = self.model.layer_full(
+            0, hidden, positions, query_window=self.config.query_window
+        )
+        fused_layers.append(out0.layer_kv)
+        if out0.forward_attention is not None:
+            forward_attention.append(out0.forward_attention)
+        recompute_counts.append(n_tokens)
+        selected_per_layer.append(np.arange(n_tokens, dtype=np.int64))
+
+        deviation0 = self._deviation_against_reused(
+            out0.layer_kv, reused[0], suffix_start
+        )
+        first_layer_deviation = deviation0
+        layer_deviations.append(deviation0)
+        if self.config.recompute_first_layer:
+            selected = selector.first_selection(deviation0)
+        else:
+            selected = self._random_selection(selector, n_tokens, suffix_indices)
+        hidden_full = out0.hidden
+        hidden_selected = hidden_full[selected]
+
+        # ---- layers 1..L-1: selective recompute --------------------------
+        for layer_idx in range(1, self.model.config.n_layers):
+            out = self.model.layer_selective(
+                layer_idx,
+                hidden_selected,
+                selected,
+                positions,
+                reused[layer_idx],
+                query_window=self.config.query_window,
+            )
+            fused_layers.append(out.merged_kv)
+            if out.forward_attention is not None:
+                forward_attention.append(out.forward_attention)
+            recompute_counts.append(int(selected.size))
+            selected_per_layer.append(selected)
+
+            deviation = self._selected_deviation(
+                out.new_keys, out.new_values, reused[layer_idx], selected, suffix_start
+            )
+            layer_deviations.append(deviation)
+
+            if layer_idx < self.model.config.n_layers - 1:
+                next_selected = selector.next_selection(deviation)
+                keep_mask = np.isin(selected, next_selected)
+                hidden_selected = out.hidden_selected[keep_mask]
+                selected = selected[keep_mask]
+            else:
+                hidden_selected = out.hidden_selected
+
+        last_logits = self._last_logits(hidden_selected, selected, n_tokens)
+        kv_cache = KVCache(fused_layers, token_ids, positions)
+        return FusionResult(
+            kv_cache=kv_cache,
+            last_logits=last_logits,
+            token_ids=token_ids,
+            positions=positions,
+            suffix_start=suffix_start,
+            forward_attention=forward_attention,
+            selected_per_layer=selected_per_layer,
+            recompute_counts=recompute_counts,
+            layer_deviations=layer_deviations,
+            first_layer_deviation=first_layer_deviation,
+        )
+
+    # ------------------------------------------------------------------
+    def full_reuse(
+        self, chunk_caches: list[KVCache], suffix_token_ids: np.ndarray
+    ) -> FusionResult:
+        """PromptCache-style full KV reuse: recompute only the suffix.
+
+        Equivalent to ``fuse(..., recompute_ratio=0.0)`` except that layer 0 of
+        the chunk region is also reused rather than recomputed, which is what
+        the full-KV-reuse baseline does.
+        """
+        if not chunk_caches:
+            raise ValueError("full_reuse() requires at least one chunk cache")
+        suffix_token_ids = np.asarray(suffix_token_ids, dtype=np.int64)
+        reused, token_ids, positions, suffix_start = self._assemble(
+            chunk_caches, suffix_token_ids
+        )
+        n_tokens = token_ids.size
+        suffix_indices = np.arange(suffix_start, n_tokens, dtype=np.int64)
+
+        hidden_selected = self.model.embed(token_ids[suffix_indices])
+        fused_layers: list[LayerKV] = []
+        forward_attention: list[np.ndarray] = []
+        recompute_counts: list[int] = []
+        selected_per_layer: list[np.ndarray] = []
+        for layer_idx in range(self.model.config.n_layers):
+            out = self.model.layer_selective(
+                layer_idx,
+                hidden_selected,
+                suffix_indices,
+                positions,
+                reused[layer_idx],
+                query_window=self.config.query_window,
+            )
+            fused_layers.append(out.merged_kv)
+            if out.forward_attention is not None:
+                forward_attention.append(out.forward_attention)
+            recompute_counts.append(int(suffix_indices.size))
+            selected_per_layer.append(suffix_indices)
+            hidden_selected = out.hidden_selected
+
+        last_logits = self._last_logits(hidden_selected, suffix_indices, n_tokens)
+        return FusionResult(
+            kv_cache=KVCache(fused_layers, token_ids, positions),
+            last_logits=last_logits,
+            token_ids=token_ids,
+            positions=positions,
+            suffix_start=suffix_start,
+            forward_attention=forward_attention,
+            selected_per_layer=selected_per_layer,
+            recompute_counts=recompute_counts,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _assemble(
+        self, chunk_caches: list[KVCache], suffix_token_ids: np.ndarray
+    ) -> tuple[list[LayerKV], np.ndarray, np.ndarray, int]:
+        """Re-align chunk caches, append suffix placeholders, build layout."""
+        theta = self.model.config.rope_theta
+        n_layers = self.model.config.n_layers
+        aligned: list[KVCache] = []
+        offset = 0
+        for cache in chunk_caches:
+            if cache.n_layers != n_layers:
+                raise ValueError(
+                    f"chunk cache has {cache.n_layers} layers; model has {n_layers}"
+                )
+            aligned.append(realign_chunk_cache(cache, offset, theta))
+            offset += cache.n_tokens
+        chunk_region = KVCache.concat(aligned)
+        suffix_start = chunk_region.n_tokens
+        n_suffix = int(suffix_token_ids.size)
+        n_total = suffix_start + n_suffix
+
+        token_ids = np.concatenate([chunk_region.token_ids, suffix_token_ids])
+        positions = np.arange(n_total, dtype=np.int64)
+
+        cfg = self.model.config
+        reused: list[LayerKV] = []
+        for layer in chunk_region.layers:
+            keys = np.zeros((n_total, cfg.n_kv_heads, cfg.head_dim))
+            values = np.zeros_like(keys)
+            keys[:suffix_start] = layer.keys
+            values[:suffix_start] = layer.values
+            reused.append(LayerKV(keys, values))
+        return reused, token_ids, positions, suffix_start
+
+    @staticmethod
+    def _deviation_against_reused(
+        computed: LayerKV, reused: LayerKV, suffix_start: int
+    ) -> np.ndarray:
+        """Per-token deviation of the freshly computed layer vs the loaded one.
+
+        Suffix tokens have no precomputed KV (the reused entries are zeros),
+        so their deviation is not meaningful for HKVD ranking; they are forced
+        to zero here and included in the recompute set explicitly instead.
+        """
+        deviation = token_kv_deviation(computed, reused)
+        deviation[suffix_start:] = 0.0
+        return deviation
+
+    @staticmethod
+    def _selected_deviation(
+        new_keys: np.ndarray,
+        new_values: np.ndarray,
+        reused: LayerKV,
+        selected: np.ndarray,
+        suffix_start: int,
+    ) -> np.ndarray:
+        """Full-length deviation array populated only at the selected tokens."""
+        n_tokens = reused.n_tokens
+        deviation = np.zeros(n_tokens)
+        key_diff = new_keys - reused.keys[selected]
+        value_diff = new_values - reused.values[selected]
+        per_token = np.linalg.norm(
+            key_diff.reshape(len(selected), -1), axis=1
+        ) + np.linalg.norm(value_diff.reshape(len(selected), -1), axis=1)
+        deviation[selected] = per_token
+        deviation[suffix_start:] = 0.0
+        return deviation
+
+    def _random_selection(
+        self, selector: HKVDSelector, n_tokens: int, suffix_indices: np.ndarray
+    ) -> np.ndarray:
+        """Ablation path: pick the first-layer tokens uniformly at random."""
+        rng = np.random.default_rng(self.model.seed)
+        fake_deviation = rng.random(n_tokens)
+        fake_deviation[suffix_indices] = 0.0
+        return selector.first_selection(fake_deviation)
+
+    def _last_logits(
+        self, hidden_selected: np.ndarray, selected: np.ndarray, n_tokens: int
+    ) -> np.ndarray:
+        """Logits of the last input token (it is always in the selected set)."""
+        last_index = n_tokens - 1
+        rows = np.nonzero(np.asarray(selected) == last_index)[0]
+        if rows.size == 0:
+            raise RuntimeError("the last input token was not recomputed; cannot decode")
+        return self.model.logits(hidden_selected[rows[0]])

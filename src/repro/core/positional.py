@@ -1,0 +1,62 @@
+"""Positional re-alignment of precomputed chunk KV caches.
+
+A chunk's KV cache is precomputed at some absolute position (usually starting
+at 0).  When the chunk is reused as the ``n``-th chunk of a fused input, its
+keys must be re-rotated so their RoPE embedding matches the new absolute
+positions.  Because RoPE attention depends only on relative positions (paper
+Appendix A), multiplying the stored keys by the rotation of the position delta
+is an exact correction with negligible cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.rope import shift_keys
+from repro.model.tensors import KVCache, LayerKV
+
+
+def realign_chunk_cache(
+    chunk_cache: KVCache, new_start: int, rope_theta: float = 10_000.0
+) -> KVCache:
+    """Return a copy of *chunk_cache* re-aligned to start at *new_start*.
+
+    Keys are rotated by the position delta; values are position-independent
+    and are reused as-is.  The returned cache's ``positions`` reflect the new
+    placement.
+    """
+    if chunk_cache.n_tokens == 0:
+        raise ValueError("cannot re-align an empty chunk cache")
+    old_positions = chunk_cache.positions
+    new_positions = np.arange(
+        new_start, new_start + chunk_cache.n_tokens, dtype=np.int64
+    )
+    if np.array_equal(old_positions, new_positions):
+        return chunk_cache.copy()
+    layers = [
+        LayerKV(
+            shift_keys(layer.keys, old_positions, new_positions, rope_theta),
+            layer.values.copy(),
+        )
+        for layer in chunk_cache.layers
+    ]
+    return KVCache(layers, chunk_cache.token_ids.copy(), new_positions)
+
+
+def concat_chunk_caches(
+    chunk_caches: list[KVCache], rope_theta: float = 10_000.0
+) -> KVCache:
+    """Re-align and concatenate chunk caches into one contiguous cache.
+
+    Chunk ``k`` is placed right after chunk ``k-1``; this is the
+    "full KV reuse" layout (PromptCache-style) that CacheBlend starts from
+    before selectively recomputing tokens.
+    """
+    if not chunk_caches:
+        raise ValueError("need at least one chunk cache to concatenate")
+    aligned = []
+    offset = 0
+    for cache in chunk_caches:
+        aligned.append(realign_chunk_cache(cache, offset, rope_theta))
+        offset += cache.n_tokens
+    return KVCache.concat(aligned)

@@ -1,0 +1,25 @@
+"""KV cache storage substrate.
+
+Models the storage side of CacheBlend: the devices KV caches can live on
+(GPU HBM, CPU RAM, NVMe SSD, slower disks, object stores), serialization and
+size accounting, a hash-addressed chunk KV store with LRU eviction, and a
+multi-tier store used by the prefix-caching baseline (RAM + SSD).
+"""
+
+from repro.kvstore.device import DEVICE_PRESETS, StorageDevice
+from repro.kvstore.serialization import deserialize_kv, kv_nbytes, serialize_kv
+from repro.kvstore.store import CacheStats, EvictionPolicy, KVCacheStore, chunk_key
+from repro.kvstore.hierarchy import TieredKVStore
+
+__all__ = [
+    "DEVICE_PRESETS",
+    "StorageDevice",
+    "serialize_kv",
+    "deserialize_kv",
+    "kv_nbytes",
+    "KVCacheStore",
+    "CacheStats",
+    "EvictionPolicy",
+    "chunk_key",
+    "TieredKVStore",
+]

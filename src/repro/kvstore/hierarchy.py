@@ -1,0 +1,76 @@
+"""Multi-tier KV cache store (e.g. CPU RAM backed by an SSD).
+
+The prefix-caching baseline in the paper stores KV caches "in both RAM and
+SSD"; this tiered store models that: lookups search tiers from fastest to
+slowest, hits are optionally promoted to the fastest tier, and inserts go to
+the fastest tier that can hold the entry (falling back to slower tiers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kvstore.store import CacheStats, KVCacheStore
+from repro.model.tensors import KVCache
+
+
+@dataclass
+class TierLookup:
+    """Result of a tiered lookup: the cache plus where it was found."""
+
+    cache: KVCache | None
+    tier_index: int | None
+    read_delay: float
+
+
+@dataclass
+class TieredKVStore:
+    """An ordered list of stores, fastest first."""
+
+    tiers: list[KVCacheStore]
+    promote_on_hit: bool = True
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise ValueError("a tiered store needs at least one tier")
+
+    def contains(self, key: str) -> bool:
+        return any(tier.contains(key) for tier in self.tiers)
+
+    def get(self, key: str) -> TierLookup:
+        """Look *key* up tier by tier, promoting on hit if configured."""
+        for index, tier in enumerate(self.tiers):
+            if tier.contains(key):
+                delay = tier.read_delay(key)
+                cache = tier.get(key)
+                self.stats.hits += 1
+                if self.promote_on_hit and index > 0 and cache is not None:
+                    self._try_promote(key, cache)
+                return TierLookup(cache=cache, tier_index=index, read_delay=delay)
+        self.stats.misses += 1
+        return TierLookup(cache=None, tier_index=None, read_delay=0.0)
+
+    def put(self, key: str, cache: KVCache) -> int:
+        """Insert into the fastest tier with room (evicting there if needed)."""
+        for index, tier in enumerate(self.tiers):
+            nbytes = cache.nbytes(tier.dtype_bytes)
+            if nbytes <= tier.capacity_bytes:
+                self.stats.inserts += 1
+                return tier.put(key, cache)
+            if index == len(self.tiers) - 1:
+                raise ValueError("cache does not fit in any tier")
+        raise AssertionError("unreachable")
+
+    def _try_promote(self, key: str, cache: KVCache) -> None:
+        fastest = self.tiers[0]
+        if cache.nbytes(fastest.dtype_bytes) <= fastest.capacity_bytes:
+            fastest.put(key, cache)
+
+    @property
+    def total_bytes_stored(self) -> int:
+        return sum(tier.bytes_stored for tier in self.tiers)
+
+    @property
+    def n_entries(self) -> int:
+        return sum(tier.n_entries for tier in self.tiers)

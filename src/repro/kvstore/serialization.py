@@ -1,0 +1,80 @@
+"""KV cache serialization and size accounting.
+
+KV caches are stored as float16 (or int8-scaled, for the quantised presets)
+blobs.  ``kv_nbytes`` is the size accounting the storage devices and the
+loading-delay estimator use; ``serialize_kv``/``deserialize_kv`` produce real
+byte buffers so the store can optionally persist caches to files on disk.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+
+from repro.model.tensors import KVCache, LayerKV
+
+_MAGIC = b"RPKV1\n"
+
+
+def kv_nbytes(cache: KVCache, dtype_bytes: int = 2) -> int:
+    """Storage footprint of *cache* at *dtype_bytes* per KV element."""
+    if dtype_bytes <= 0:
+        raise ValueError("dtype_bytes must be positive")
+    return cache.nbytes(dtype_bytes)
+
+
+def serialize_kv(cache: KVCache) -> bytes:
+    """Serialise *cache* into a self-describing byte string (fp16 payload)."""
+    buffer = io.BytesIO()
+    buffer.write(_MAGIC)
+    header = {
+        "n_layers": cache.n_layers,
+        "n_tokens": cache.n_tokens,
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+    buffer.write(len(header_bytes).to_bytes(4, "little"))
+    buffer.write(header_bytes)
+    arrays: dict[str, np.ndarray] = {
+        "token_ids": cache.token_ids.astype(np.int64),
+        "positions": cache.positions.astype(np.int64),
+    }
+    for i, layer in enumerate(cache.layers):
+        arrays[f"k{i}"] = layer.keys.astype(np.float16)
+        arrays[f"v{i}"] = layer.values.astype(np.float16)
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def deserialize_kv(data: bytes) -> KVCache:
+    """Inverse of :func:`serialize_kv`."""
+    if not data.startswith(_MAGIC):
+        raise ValueError("not a serialized KV cache (bad magic)")
+    buffer = io.BytesIO(data)
+    buffer.read(len(_MAGIC))
+    header_len = int.from_bytes(buffer.read(4), "little")
+    header = json.loads(buffer.read(header_len).decode("utf-8"))
+    archive = np.load(buffer)
+    layers = [
+        LayerKV(
+            archive[f"k{i}"].astype(np.float64),
+            archive[f"v{i}"].astype(np.float64),
+        )
+        for i in range(header["n_layers"])
+    ]
+    return KVCache(layers, archive["token_ids"], archive["positions"])
+
+
+def save_kv(cache: KVCache, path: str) -> int:
+    """Persist *cache* to *path*; returns the number of bytes written."""
+    payload = serialize_kv(cache)
+    with open(path, "wb") as handle:
+        handle.write(payload)
+    return len(payload)
+
+
+def load_kv(path: str) -> KVCache:
+    """Load a cache persisted with :func:`save_kv`."""
+    with open(path, "rb") as handle:
+        return deserialize_kv(handle.read())

@@ -1,0 +1,190 @@
+"""Hash-addressed chunk KV cache store with capacity-bounded eviction.
+
+The store maps a *chunk key* (a stable hash of the chunk's token ids, the
+model name, and — for prefix caching — the prefix it was computed under) to a
+KV cache entry living on one storage device.  When the device is full, the
+least-recently-used entry is evicted (paper §5.1, "KV cache store").
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kvstore.device import StorageDevice
+from repro.kvstore.serialization import kv_nbytes
+from repro.model.tensors import KVCache
+from repro.tokenizer.vocab import stable_hash
+
+
+def chunk_key(token_ids: np.ndarray, model_name: str = "", prefix_key: str = "") -> str:
+    """Stable cache key for a chunk.
+
+    ``prefix_key`` is empty for CacheBlend and full-KV-reuse (the cache is
+    position independent after re-alignment); prefix caching passes the key of
+    the preceding context so that the same chunk under different prefixes maps
+    to different entries — the storage blow-up the paper points out in §7.2.
+    """
+    ids = np.asarray(token_ids, dtype=np.int64)
+    payload = model_name + "|" + prefix_key + "|" + ",".join(str(int(t)) for t in ids)
+    return f"{stable_hash(payload):016x}"
+
+
+class EvictionPolicy(str, enum.Enum):
+    """Eviction policy of a :class:`KVCacheStore`."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one store."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserts: int = 0
+    bytes_stored: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class _Entry:
+    cache: KVCache
+    nbytes: int
+
+
+@dataclass
+class KVCacheStore:
+    """A single-device KV cache store.
+
+    Parameters
+    ----------
+    device:
+        The storage device the caches live on; determines capacity and the
+        simulated read/write delays reported by :meth:`read_delay` /
+        :meth:`write_delay`.
+    dtype_bytes:
+        Bytes per stored KV element (matches the model's KV dtype).
+    policy:
+        Eviction policy (LRU by default, FIFO available for ablation).
+    capacity_bytes:
+        Optional override of the device capacity (useful to provoke evictions
+        in experiments without multi-terabyte contexts).
+    """
+
+    device: StorageDevice
+    dtype_bytes: int = 2
+    policy: EvictionPolicy = EvictionPolicy.LRU
+    capacity_bytes: int | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: "OrderedDict[str, _Entry]" = field(default_factory=OrderedDict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes is None:
+            self.capacity_bytes = self.device.capacity_bytes
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> KVCache | None:
+        """Fetch a cache by key, updating recency and hit/miss statistics."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if self.policy is EvictionPolicy.LRU:
+            self._entries.move_to_end(key)
+        return entry.cache
+
+    def peek(self, key: str) -> KVCache | None:
+        """Fetch without touching statistics or recency (used by tooling)."""
+        entry = self._entries.get(key)
+        return entry.cache if entry else None
+
+    def put(self, key: str, cache: KVCache) -> int:
+        """Insert (or overwrite) a cache; returns bytes evicted to make room."""
+        nbytes = kv_nbytes(cache, self.dtype_bytes)
+        if nbytes > self.capacity_bytes:
+            raise ValueError(
+                f"cache of {nbytes} bytes cannot fit in capacity {self.capacity_bytes}"
+            )
+        evicted = 0
+        if key in self._entries:
+            self.stats.bytes_stored -= self._entries.pop(key).nbytes
+        while self.stats.bytes_stored + nbytes > self.capacity_bytes:
+            evicted += self._evict_one()
+        self._entries[key] = _Entry(cache=cache, nbytes=nbytes)
+        self.stats.bytes_stored += nbytes
+        self.stats.inserts += 1
+        return evicted
+
+    def remove(self, key: str) -> bool:
+        """Remove an entry; returns whether it existed."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self.stats.bytes_stored -= entry.nbytes
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats.bytes_stored = 0
+
+    def _evict_one(self) -> int:
+        if not self._entries:
+            raise RuntimeError("eviction requested on an empty store")
+        # Both LRU and FIFO evict from the front; LRU refreshes order on get().
+        _, entry = self._entries.popitem(last=False)
+        self.stats.bytes_stored -= entry.nbytes
+        self.stats.evictions += 1
+        return entry.nbytes
+
+    # ------------------------------------------------------------------
+    # Delay accounting
+    # ------------------------------------------------------------------
+    def read_delay(self, key: str) -> float:
+        """Simulated delay of reading the entry at *key* from the device."""
+        entry = self._entries.get(key)
+        if entry is None:
+            raise KeyError(f"no KV cache stored under key {key!r}")
+        return self.device.read_time(entry.nbytes)
+
+    def write_delay(self, cache: KVCache) -> float:
+        """Simulated delay of writing *cache* to the device."""
+        return self.device.write_time(kv_nbytes(cache, self.dtype_bytes))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_entries(self) -> int:
+        return len(self._entries)
+
+    @property
+    def bytes_stored(self) -> int:
+        return self.stats.bytes_stored
+
+    @property
+    def utilisation(self) -> float:
+        return self.stats.bytes_stored / self.capacity_bytes
+
+    def keys(self) -> list[str]:
+        return list(self._entries.keys())

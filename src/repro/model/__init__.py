@@ -1,0 +1,29 @@
+"""Transformer model substrate.
+
+A from-scratch NumPy decoder-only transformer (RMSNorm, grouped-query
+attention, rotary positional embeddings, SwiGLU MLP) exposing the three code
+paths CacheBlend needs:
+
+* **full prefill** — compute the KV cache of an entire input (the ``full KV
+  recompute`` reference of the paper);
+* **chunk prefill** — compute the KV cache of a single chunk in isolation
+  (what gets precomputed and stored);
+* **selective prefill** — recompute only a chosen subset of tokens per layer
+  while reusing cached K/V entries for the rest (the CacheBlend fusor path).
+
+The model also reports forward-attention matrices so KV deviation and
+attention deviation (paper §4.1) can be measured directly.
+"""
+
+from repro.model.config import ModelConfig, MODEL_PRESETS
+from repro.model.tensors import LayerKV, KVCache
+from repro.model.transformer import TransformerModel, PrefillResult
+
+__all__ = [
+    "ModelConfig",
+    "MODEL_PRESETS",
+    "LayerKV",
+    "KVCache",
+    "TransformerModel",
+    "PrefillResult",
+]

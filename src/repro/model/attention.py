@@ -1,0 +1,143 @@
+"""Grouped-query causal attention, with a selective-token recompute path.
+
+Two entry points are provided:
+
+* :func:`full_attention` — the standard causal attention over all tokens,
+  used by full prefill and chunk prefill.
+* :func:`selective_attention` — attention where only a *subset* of tokens act
+  as queries (the tokens being recomputed) while the keys/values of all other
+  tokens come from a reused KV cache.  This is the layer primitive behind
+  CacheBlend's selective KV recompute (paper §4.2, Figure 5b).
+
+Both return the attention weights of a trailing "query window" (the last few
+tokens of the input, i.e. the user question in a RAG prompt) so the caller can
+compute the paper's *forward attention matrix* and its deviation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.layers import softmax
+
+
+@dataclass
+class AttentionOutput:
+    """Result of one attention call.
+
+    Attributes
+    ----------
+    context:
+        Per-query attention output of shape ``(n_queries, n_heads, head_dim)``.
+    forward_attention:
+        Head-averaged attention weights of the tokens inside the query window,
+        shape ``(n_window, n_keys)``; ``None`` when no window was requested.
+    """
+
+    context: np.ndarray
+    forward_attention: np.ndarray | None
+
+
+def _expand_kv(tensor: np.ndarray, n_heads: int) -> np.ndarray:
+    """Repeat KV heads so they match the number of query heads (GQA)."""
+    n_kv_heads = tensor.shape[1]
+    if n_kv_heads == n_heads:
+        return tensor
+    group = n_heads // n_kv_heads
+    return np.repeat(tensor, group, axis=1)
+
+
+def _attend(
+    queries: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    query_positions: np.ndarray,
+    key_positions: np.ndarray,
+    window_rows: np.ndarray | None,
+) -> AttentionOutput:
+    """Shared core: causal softmax attention with optional window extraction."""
+    n_heads = queries.shape[1]
+    head_dim = queries.shape[2]
+    keys = _expand_kv(keys, n_heads)
+    values = _expand_kv(values, n_heads)
+
+    # scores[h, q, k]
+    scores = np.einsum("qhd,khd->hqk", queries, keys) / np.sqrt(head_dim)
+    mask = key_positions[None, None, :] > query_positions[None, :, None]
+    scores = np.where(mask, -1e30, scores)
+    weights = softmax(scores, axis=-1)
+
+    context = np.einsum("hqk,khd->qhd", weights, values)
+
+    forward_attention = None
+    if window_rows is not None and window_rows.size:
+        forward_attention = weights[:, window_rows, :].mean(axis=0)
+    return AttentionOutput(context=context, forward_attention=forward_attention)
+
+
+def full_attention(
+    queries: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    positions: np.ndarray,
+    query_window: int = 0,
+) -> AttentionOutput:
+    """Causal attention where every token is a query.
+
+    Parameters
+    ----------
+    queries / keys / values:
+        Shapes ``(T, n_heads, d)`` and ``(T, n_kv_heads, d)``.
+    positions:
+        Absolute positions of the T tokens (must be non-decreasing).
+    query_window:
+        If positive, also return the head-averaged attention rows of the last
+        ``query_window`` tokens (the forward attention matrix).
+    """
+    positions = np.asarray(positions)
+    n_tokens = queries.shape[0]
+    window_rows = None
+    if query_window > 0:
+        start = max(0, n_tokens - query_window)
+        window_rows = np.arange(start, n_tokens)
+    return _attend(queries, keys, values, positions, positions, window_rows)
+
+
+def selective_attention(
+    queries_selected: np.ndarray,
+    keys_all: np.ndarray,
+    values_all: np.ndarray,
+    selected_indices: np.ndarray,
+    positions: np.ndarray,
+    query_window: int = 0,
+) -> AttentionOutput:
+    """Causal attention where only *selected_indices* act as queries.
+
+    The keys/values cover all tokens (reused cache entries merged with freshly
+    recomputed ones); only the selected tokens' outputs are produced, which is
+    what makes the recompute cost proportional to the number of selected
+    tokens (paper §4.2).
+    """
+    positions = np.asarray(positions)
+    selected_indices = np.asarray(selected_indices, dtype=np.int64)
+    if queries_selected.shape[0] != selected_indices.size:
+        raise ValueError(
+            f"{queries_selected.shape[0]} query rows but "
+            f"{selected_indices.size} selected indices"
+        )
+    n_tokens = keys_all.shape[0]
+    window_rows = None
+    if query_window > 0:
+        window_start = max(0, n_tokens - query_window)
+        # Rows of the selected set that fall inside the trailing window.
+        window_rows = np.nonzero(selected_indices >= window_start)[0]
+    return _attend(
+        queries_selected,
+        keys_all,
+        values_all,
+        positions[selected_indices],
+        positions,
+        window_rows,
+    )

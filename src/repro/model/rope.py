@@ -1,0 +1,73 @@
+"""Rotary positional embeddings (RoPE) and positional re-alignment.
+
+CacheBlend stores chunk KV caches computed at one absolute position and later
+reuses them at a different position.  Because RoPE attention scores depend only
+on *relative* position (paper Appendix A), the stored keys can be re-aligned by
+rotating them by the position delta — ``shift_keys`` implements exactly that
+correction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rope_frequencies(head_dim: int, theta: float = 10_000.0) -> np.ndarray:
+    """Per-pair rotation frequencies ``theta_i = theta ** (-2i/d)``."""
+    if head_dim % 2 != 0:
+        raise ValueError("head_dim must be even")
+    exponents = np.arange(0, head_dim, 2, dtype=np.float64) / head_dim
+    return theta ** (-exponents)
+
+
+def rope_angles(positions: np.ndarray, head_dim: int, theta: float = 10_000.0) -> np.ndarray:
+    """Rotation angles of shape ``(len(positions), head_dim // 2)``."""
+    freqs = rope_frequencies(head_dim, theta)
+    positions = np.asarray(positions, dtype=np.float64)
+    return positions[:, None] * freqs[None, :]
+
+
+def apply_rope(x: np.ndarray, positions: np.ndarray, theta: float = 10_000.0) -> np.ndarray:
+    """Apply rotary embedding to *x*.
+
+    Parameters
+    ----------
+    x:
+        Array of shape ``(n_tokens, n_heads, head_dim)``.
+    positions:
+        Integer positions of shape ``(n_tokens,)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    n_tokens, _, head_dim = x.shape
+    if len(positions) != n_tokens:
+        raise ValueError(f"positions length {len(positions)} != n_tokens {n_tokens}")
+    angles = rope_angles(positions, head_dim, theta)  # (T, d/2)
+    cos = np.cos(angles)[:, None, :]
+    sin = np.sin(angles)[:, None, :]
+    x_even = x[..., 0::2]
+    x_odd = x[..., 1::2]
+    out = np.empty_like(x)
+    out[..., 0::2] = x_even * cos - x_odd * sin
+    out[..., 1::2] = x_even * sin + x_odd * cos
+    return out
+
+
+def shift_keys(
+    keys: np.ndarray,
+    old_positions: np.ndarray,
+    new_positions: np.ndarray,
+    theta: float = 10_000.0,
+) -> np.ndarray:
+    """Re-align RoPE-rotated keys from *old_positions* to *new_positions*.
+
+    Rotating a key embedded at position ``m`` by the delta ``m' - m`` produces
+    the key as if it had been embedded at ``m'``.  This is the positional
+    correction CacheBlend applies when a cached chunk is placed at a new
+    offset inside the fused input (paper §4.3 footnote and Appendix A).
+    """
+    old_positions = np.asarray(old_positions)
+    new_positions = np.asarray(new_positions)
+    if old_positions.shape != new_positions.shape:
+        raise ValueError("old and new positions must have the same shape")
+    delta = new_positions.astype(np.int64) - old_positions.astype(np.int64)
+    return apply_rope(keys, delta, theta)

@@ -1,0 +1,133 @@
+"""KV cache data structures.
+
+A :class:`KVCache` is the concatenation of per-layer key/value tensors for a
+token sequence, together with the absolute positions at which the keys were
+rotary-embedded.  Chunk caches record those positions so the CacheBlend fusor
+can re-align them when the chunk is placed at a different offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class LayerKV:
+    """Key/value tensors of one transformer layer.
+
+    ``keys`` and ``values`` have shape ``(n_tokens, n_kv_heads, head_dim)``.
+    """
+
+    keys: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.keys = np.asarray(self.keys, dtype=np.float64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.keys.shape != self.values.shape:
+            raise ValueError(
+                f"keys shape {self.keys.shape} != values shape {self.values.shape}"
+            )
+        if self.keys.ndim != 3:
+            raise ValueError("LayerKV tensors must be (n_tokens, n_kv_heads, head_dim)")
+
+    @property
+    def n_tokens(self) -> int:
+        return self.keys.shape[0]
+
+    def copy(self) -> "LayerKV":
+        return LayerKV(self.keys.copy(), self.values.copy())
+
+    def slice(self, start: int, stop: int) -> "LayerKV":
+        return LayerKV(self.keys[start:stop].copy(), self.values[start:stop].copy())
+
+    def nbytes(self, dtype_bytes: int = 2) -> int:
+        """Storage footprint assuming *dtype_bytes* per element."""
+        return 2 * self.keys.shape[0] * self.keys.shape[1] * self.keys.shape[2] * dtype_bytes
+
+    @staticmethod
+    def concat(parts: list["LayerKV"]) -> "LayerKV":
+        if not parts:
+            raise ValueError("cannot concatenate an empty list of LayerKV")
+        keys = np.concatenate([p.keys for p in parts], axis=0)
+        values = np.concatenate([p.values for p in parts], axis=0)
+        return LayerKV(keys, values)
+
+
+@dataclass
+class KVCache:
+    """Per-layer KV tensors plus token ids and embedding positions.
+
+    Attributes
+    ----------
+    layers:
+        One :class:`LayerKV` per transformer layer.
+    token_ids:
+        The token ids the cache was computed for.
+    positions:
+        Absolute positions the keys were rotary-embedded at (shape
+        ``(n_tokens,)``).  For a full prefill these are ``0..n-1``; for a
+        chunk prefill they start at the chunk's precompute offset.
+    """
+
+    layers: list[LayerKV]
+    token_ids: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    positions: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    def __post_init__(self) -> None:
+        self.token_ids = np.asarray(self.token_ids, dtype=np.int64)
+        self.positions = np.asarray(self.positions, dtype=np.int64)
+        if self.layers:
+            n = self.layers[0].n_tokens
+            for i, layer in enumerate(self.layers):
+                if layer.n_tokens != n:
+                    raise ValueError(
+                        f"layer {i} has {layer.n_tokens} tokens, expected {n}"
+                    )
+            if self.token_ids.size and self.token_ids.size != n:
+                raise ValueError("token_ids length does not match KV tensors")
+            if self.positions.size and self.positions.size != n:
+                raise ValueError("positions length does not match KV tensors")
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def n_tokens(self) -> int:
+        return self.layers[0].n_tokens if self.layers else 0
+
+    def copy(self) -> "KVCache":
+        return KVCache(
+            [layer.copy() for layer in self.layers],
+            self.token_ids.copy(),
+            self.positions.copy(),
+        )
+
+    def slice_tokens(self, start: int, stop: int) -> "KVCache":
+        return KVCache(
+            [layer.slice(start, stop) for layer in self.layers],
+            self.token_ids[start:stop].copy() if self.token_ids.size else self.token_ids,
+            self.positions[start:stop].copy() if self.positions.size else self.positions,
+        )
+
+    def nbytes(self, dtype_bytes: int = 2) -> int:
+        return sum(layer.nbytes(dtype_bytes) for layer in self.layers)
+
+    @staticmethod
+    def concat(parts: list["KVCache"]) -> "KVCache":
+        """Concatenate chunk caches along the token axis."""
+        if not parts:
+            raise ValueError("cannot concatenate an empty list of KVCache")
+        n_layers = parts[0].n_layers
+        for part in parts:
+            if part.n_layers != n_layers:
+                raise ValueError("all KVCache parts must have the same layer count")
+        layers = [
+            LayerKV.concat([part.layers[i] for part in parts]) for i in range(n_layers)
+        ]
+        token_ids = np.concatenate([part.token_ids for part in parts])
+        positions = np.concatenate([part.positions for part in parts])
+        return KVCache(layers, token_ids, positions)

@@ -1,0 +1,306 @@
+"""Decoder-only transformer with full, chunked and selective prefill paths.
+
+The model is deliberately small (it runs on CPU with NumPy) but structurally
+faithful: RMSNorm pre-normalisation, grouped-query attention with rotary
+positional embeddings, SwiGLU MLP, residual connections and a tied LM head.
+It exposes the exact primitives the paper's implementation adds to vLLM
+(§6): per-layer prefill with an optional subset of recomputed tokens, and
+access to the forward attention matrix of each layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.attention import full_attention, selective_attention
+from repro.model.config import ModelConfig
+from repro.model.layers import ModelWeights, init_weights, rms_norm, swiglu
+from repro.model.rope import apply_rope
+from repro.model.tensors import KVCache, LayerKV
+
+
+@dataclass
+class LayerFullOutput:
+    """Output of a full (all-token) pass through one layer."""
+
+    hidden: np.ndarray
+    layer_kv: LayerKV
+    forward_attention: np.ndarray | None
+
+
+@dataclass
+class LayerSelectiveOutput:
+    """Output of a selective (subset-of-tokens) pass through one layer."""
+
+    hidden_selected: np.ndarray
+    merged_kv: LayerKV
+    new_keys: np.ndarray
+    new_values: np.ndarray
+    forward_attention: np.ndarray | None
+
+
+@dataclass
+class PrefillResult:
+    """Result of a prefill pass.
+
+    Attributes
+    ----------
+    kv_cache:
+        The KV cache produced for the input tokens.
+    final_hidden:
+        Final-layer hidden states of the whole input, shape ``(T, d)``.
+    last_logits:
+        LM-head logits of the last input token (used to start decoding).
+    forward_attention:
+        Per-layer forward attention matrices of the trailing query window
+        (each of shape ``(n_window, T)``); empty if no window was requested.
+    layer_inputs:
+        Per-layer hidden-state inputs, kept only when ``collect_hidden=True``.
+    """
+
+    kv_cache: KVCache
+    final_hidden: np.ndarray
+    last_logits: np.ndarray
+    forward_attention: list[np.ndarray] = field(default_factory=list)
+    layer_inputs: list[np.ndarray] = field(default_factory=list)
+
+
+class TransformerModel:
+    """A runnable NumPy transformer.
+
+    Parameters
+    ----------
+    config:
+        Architecture configuration.  ``config.runnable`` must be True — the
+        large paper presets exist only for the analytical cost model.
+    seed:
+        Seed for the deterministic weight initialisation.
+    """
+
+    def __init__(self, config: ModelConfig, seed: int = 0) -> None:
+        if not config.runnable:
+            raise ValueError(
+                f"model preset {config.name!r} is an architecture preset for the "
+                "cost model; instantiate a runnable proxy preset instead"
+            )
+        self.config = config
+        self.seed = seed
+        self.weights: ModelWeights = init_weights(config, seed)
+
+    # ------------------------------------------------------------------
+    # Embedding and heads
+    # ------------------------------------------------------------------
+    def embed(self, token_ids: np.ndarray) -> np.ndarray:
+        """Look up input embeddings, shape ``(T, hidden_size)``."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.size and token_ids.max() >= self.config.vocab_size:
+            raise ValueError(
+                f"token id {int(token_ids.max())} out of range for vocab size "
+                f"{self.config.vocab_size}"
+            )
+        return self.weights.embedding[token_ids]
+
+    def logits(self, hidden_row: np.ndarray) -> np.ndarray:
+        """LM-head logits for a single final hidden state."""
+        normalised = rms_norm(hidden_row, self.weights.norm_final)
+        return normalised @ self.weights.lm_head
+
+    # ------------------------------------------------------------------
+    # Layer primitives
+    # ------------------------------------------------------------------
+    def _project_qkv(
+        self, layer_idx: int, hidden: np.ndarray, positions: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Project hidden states into rotary-embedded Q, K and raw V."""
+        cfg = self.config
+        w = self.weights.layers[layer_idx]
+        normed = rms_norm(hidden, w.norm_attn)
+        q = (normed @ w.wq).reshape(-1, cfg.n_heads, cfg.head_dim)
+        k = (normed @ w.wk).reshape(-1, cfg.n_kv_heads, cfg.head_dim)
+        v = (normed @ w.wv).reshape(-1, cfg.n_kv_heads, cfg.head_dim)
+        q = apply_rope(q, positions, cfg.rope_theta)
+        k = apply_rope(k, positions, cfg.rope_theta)
+        return normed, q, k, v
+
+    def _finish_layer(
+        self, layer_idx: int, hidden: np.ndarray, context: np.ndarray
+    ) -> np.ndarray:
+        """Apply output projection, residuals and the MLP block."""
+        cfg = self.config
+        w = self.weights.layers[layer_idx]
+        attn_out = context.reshape(-1, cfg.n_heads * cfg.head_dim) @ w.wo
+        hidden = hidden + attn_out
+        mlp_out = swiglu(rms_norm(hidden, w.norm_mlp), w.w_gate, w.w_up, w.w_down)
+        return hidden + mlp_out
+
+    def layer_full(
+        self,
+        layer_idx: int,
+        hidden: np.ndarray,
+        positions: np.ndarray,
+        query_window: int = 0,
+    ) -> LayerFullOutput:
+        """Run one layer over all tokens (full prefill path)."""
+        _, q, k, v = self._project_qkv(layer_idx, hidden, positions)
+        attn = full_attention(q, k, v, positions, query_window=query_window)
+        new_hidden = self._finish_layer(layer_idx, hidden, attn.context)
+        return LayerFullOutput(
+            hidden=new_hidden,
+            layer_kv=LayerKV(k, v),
+            forward_attention=attn.forward_attention,
+        )
+
+    def layer_selective(
+        self,
+        layer_idx: int,
+        hidden_selected: np.ndarray,
+        selected_indices: np.ndarray,
+        positions: np.ndarray,
+        reused_kv: LayerKV,
+        query_window: int = 0,
+    ) -> LayerSelectiveOutput:
+        """Run one layer recomputing only *selected_indices* (CacheBlend path).
+
+        ``hidden_selected`` holds the hidden states of the selected tokens
+        only.  The keys/values of all other tokens are taken from
+        ``reused_kv`` (the loaded, positionally re-aligned chunk caches).
+        """
+        selected_indices = np.asarray(selected_indices, dtype=np.int64)
+        if reused_kv.n_tokens != len(positions):
+            raise ValueError(
+                f"reused KV has {reused_kv.n_tokens} tokens but positions has "
+                f"{len(positions)}"
+            )
+        sel_positions = positions[selected_indices]
+        _, q_sel, k_sel, v_sel = self._project_qkv(
+            layer_idx, hidden_selected, sel_positions
+        )
+        merged_keys = reused_kv.keys.copy()
+        merged_values = reused_kv.values.copy()
+        merged_keys[selected_indices] = k_sel
+        merged_values[selected_indices] = v_sel
+        attn = selective_attention(
+            q_sel,
+            merged_keys,
+            merged_values,
+            selected_indices,
+            positions,
+            query_window=query_window,
+        )
+        new_hidden_selected = self._finish_layer(layer_idx, hidden_selected, attn.context)
+        return LayerSelectiveOutput(
+            hidden_selected=new_hidden_selected,
+            merged_kv=LayerKV(merged_keys, merged_values),
+            new_keys=k_sel,
+            new_values=v_sel,
+            forward_attention=attn.forward_attention,
+        )
+
+    # ------------------------------------------------------------------
+    # Prefill paths
+    # ------------------------------------------------------------------
+    def full_prefill(
+        self,
+        token_ids: np.ndarray,
+        positions: np.ndarray | None = None,
+        query_window: int = 0,
+        collect_hidden: bool = False,
+    ) -> PrefillResult:
+        """Full KV recompute: prefill the whole input from scratch."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.size == 0:
+            raise ValueError("cannot prefill an empty token sequence")
+        if positions is None:
+            positions = np.arange(token_ids.size, dtype=np.int64)
+        else:
+            positions = np.asarray(positions, dtype=np.int64)
+        hidden = self.embed(token_ids)
+        layers: list[LayerKV] = []
+        forward_attention: list[np.ndarray] = []
+        layer_inputs: list[np.ndarray] = []
+        for layer_idx in range(self.config.n_layers):
+            if collect_hidden:
+                layer_inputs.append(hidden.copy())
+            out = self.layer_full(layer_idx, hidden, positions, query_window)
+            hidden = out.hidden
+            layers.append(out.layer_kv)
+            if out.forward_attention is not None:
+                forward_attention.append(out.forward_attention)
+        kv_cache = KVCache(layers, token_ids, positions)
+        last_logits = self.logits(hidden[-1])
+        return PrefillResult(
+            kv_cache=kv_cache,
+            final_hidden=hidden,
+            last_logits=last_logits,
+            forward_attention=forward_attention,
+            layer_inputs=layer_inputs,
+        )
+
+    def chunk_prefill(self, token_ids: np.ndarray, start_position: int = 0) -> KVCache:
+        """Prefill one chunk in isolation (what gets precomputed and stored).
+
+        ``start_position`` plays the role of PromptCache's dummy-prefix offset:
+        the chunk is embedded as if it started at that absolute position.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        positions = np.arange(start_position, start_position + token_ids.size, dtype=np.int64)
+        result = self.full_prefill(token_ids, positions=positions)
+        return result.kv_cache
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode_step(self, kv_cache: KVCache, token_id: int) -> tuple[np.ndarray, KVCache]:
+        """Append one token to *kv_cache* and return its LM-head logits.
+
+        The cache is extended in place (a new :class:`KVCache` object sharing
+        grown arrays is returned for convenience).
+        """
+        position = int(kv_cache.positions.max()) + 1 if kv_cache.n_tokens else 0
+        positions_all = np.append(kv_cache.positions, position)
+        hidden = self.embed(np.asarray([token_id], dtype=np.int64))
+        new_layers: list[LayerKV] = []
+        for layer_idx in range(self.config.n_layers):
+            reused = kv_cache.layers[layer_idx]
+            _, q, k, v = self._project_qkv(
+                layer_idx, hidden, np.asarray([position], dtype=np.int64)
+            )
+            keys_all = np.concatenate([reused.keys, k], axis=0)
+            values_all = np.concatenate([reused.values, v], axis=0)
+            attn = selective_attention(
+                q,
+                keys_all,
+                values_all,
+                np.asarray([keys_all.shape[0] - 1]),
+                positions_all,
+            )
+            hidden = self._finish_layer(layer_idx, hidden, attn.context)
+            new_layers.append(LayerKV(keys_all, values_all))
+        logits = self.logits(hidden[-1])
+        updated = KVCache(
+            new_layers,
+            np.append(kv_cache.token_ids, token_id),
+            positions_all,
+        )
+        return logits, updated
+
+    def generate(
+        self,
+        kv_cache: KVCache,
+        start_logits: np.ndarray,
+        max_new_tokens: int = 16,
+        eos_id: int | None = None,
+    ) -> list[int]:
+        """Greedy decode *max_new_tokens* tokens starting from *start_logits*."""
+        generated: list[int] = []
+        cache = kv_cache
+        logits = start_logits
+        for _ in range(max_new_tokens):
+            next_id = int(np.argmax(logits))
+            generated.append(next_id)
+            if eos_id is not None and next_id == eos_id:
+                break
+            logits, cache = self.decode_step(cache, next_id)
+        return generated

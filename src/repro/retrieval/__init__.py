@@ -1,0 +1,21 @@
+"""Retrieval substrate: chunking, embeddings, vector store and retriever.
+
+Stands in for the Langchain text splitter, SentenceTransformers embeddings and
+FAISS-style vector search the paper uses to build its RAG pipeline.  Only the
+behaviour the evaluation needs is reproduced: fixed-token chunking, L2
+nearest-neighbour retrieval of the top-k chunks for a query.
+"""
+
+from repro.retrieval.chunker import TokenChunker, TextChunk
+from repro.retrieval.embedding import HashingEmbedder
+from repro.retrieval.vector_store import VectorStore, SearchResult
+from repro.retrieval.retriever import Retriever
+
+__all__ = [
+    "TokenChunker",
+    "TextChunk",
+    "HashingEmbedder",
+    "VectorStore",
+    "SearchResult",
+    "Retriever",
+]

@@ -1,0 +1,75 @@
+"""Fixed-token text chunking (Langchain-style splitter substitute).
+
+The paper splits contexts into chunks of a fixed token budget (128 tokens for
+the motivation study, 512 for the end-to-end evaluation).  The chunker splits
+on token boundaries while keeping whole words, which is all the downstream
+pipeline relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tokenizer.tokenizer import Tokenizer
+
+
+@dataclass(frozen=True)
+class TextChunk:
+    """One chunk of a source document."""
+
+    text: str
+    doc_id: str
+    chunk_index: int
+    n_tokens: int
+
+    @property
+    def chunk_id(self) -> str:
+        return f"{self.doc_id}#{self.chunk_index}"
+
+
+@dataclass
+class TokenChunker:
+    """Split documents into chunks of at most *chunk_tokens* tokens."""
+
+    tokenizer: Tokenizer
+    chunk_tokens: int = 512
+
+    def __post_init__(self) -> None:
+        if self.chunk_tokens < 1:
+            raise ValueError("chunk_tokens must be >= 1")
+
+    def split(self, text: str, doc_id: str = "doc") -> list[TextChunk]:
+        """Split *text* into chunks, keeping word boundaries intact."""
+        words = text.split()
+        if not words:
+            return []
+        chunks: list[TextChunk] = []
+        current: list[str] = []
+        current_tokens = 0
+        for word in words:
+            word_tokens = self.tokenizer.count_tokens(word)
+            if current and current_tokens + word_tokens > self.chunk_tokens:
+                chunks.append(self._make_chunk(current, doc_id, len(chunks)))
+                current = []
+                current_tokens = 0
+            current.append(word)
+            current_tokens += word_tokens
+        if current:
+            chunks.append(self._make_chunk(current, doc_id, len(chunks)))
+        return chunks
+
+    def split_documents(self, documents: dict[str, str]) -> list[TextChunk]:
+        """Split a mapping of ``doc_id -> text`` into a flat chunk list."""
+        chunks: list[TextChunk] = []
+        for doc_id, text in documents.items():
+            chunks.extend(self.split(text, doc_id=doc_id))
+        return chunks
+
+    def _make_chunk(self, words: list[str], doc_id: str, index: int) -> TextChunk:
+        text = " ".join(words)
+        return TextChunk(
+            text=text,
+            doc_id=doc_id,
+            chunk_index=index,
+            n_tokens=self.tokenizer.count_tokens(text),
+        )

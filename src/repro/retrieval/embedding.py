@@ -1,0 +1,51 @@
+"""Hashed bag-of-words sentence embeddings (SentenceTransformers substitute).
+
+Each word is hashed into one of ``dim`` buckets with a deterministic sign;
+the sentence embedding is the L2-normalised sum of its word vectors.  Texts
+sharing vocabulary get nearby embeddings, which is all the top-k L2 retrieval
+in the evaluation requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tokenizer.vocab import stable_hash
+
+
+@dataclass
+class HashingEmbedder:
+    """Deterministic bag-of-words embedder."""
+
+    dim: int = 256
+    lowercase: bool = True
+
+    def __post_init__(self) -> None:
+        if self.dim < 8:
+            raise ValueError("embedding dimension must be at least 8")
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed one text into an L2-normalised vector of shape ``(dim,)``."""
+        if self.lowercase:
+            text = text.lower()
+        vector = np.zeros(self.dim, dtype=np.float64)
+        words = text.split()
+        if not words:
+            return vector
+        for word in words:
+            digest = stable_hash(word)
+            bucket = digest % self.dim
+            sign = 1.0 if (digest >> 32) % 2 == 0 else -1.0
+            vector[bucket] += sign
+        norm = np.linalg.norm(vector)
+        if norm > 0:
+            vector /= norm
+        return vector
+
+    def embed_batch(self, texts: list[str]) -> np.ndarray:
+        """Embed several texts into a ``(len(texts), dim)`` matrix."""
+        if not texts:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.stack([self.embed(text) for text in texts])

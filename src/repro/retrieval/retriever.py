@@ -1,0 +1,83 @@
+"""Top-k chunk retriever used to build RAG inputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.retrieval.chunker import TextChunk, TokenChunker
+from repro.retrieval.embedding import HashingEmbedder
+from repro.retrieval.vector_store import VectorStore
+from repro.tokenizer.tokenizer import Tokenizer
+
+
+@dataclass
+class Retriever:
+    """Chunk database plus query-time top-k retrieval.
+
+    Documents are split into fixed-token chunks, each chunk is embedded and
+    indexed, and :meth:`retrieve` returns the *top_k* chunks with the lowest
+    L2 distance to the query embedding — the paper's RAG front-end.
+    """
+
+    tokenizer: Tokenizer
+    chunk_tokens: int = 512
+    embedding_dim: int = 256
+    shuffle_seed: int | None = None
+    chunker: TokenChunker = field(init=False)
+    embedder: HashingEmbedder = field(init=False)
+    store: VectorStore = field(init=False)
+    _chunks: dict[str, TextChunk] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.chunker = TokenChunker(self.tokenizer, chunk_tokens=self.chunk_tokens)
+        self.embedder = HashingEmbedder(dim=self.embedding_dim)
+        self.store = VectorStore(dim=self.embedding_dim)
+
+    # ------------------------------------------------------------------
+    def add_document(self, doc_id: str, text: str) -> list[TextChunk]:
+        """Chunk, embed and index one document; returns its chunks."""
+        chunks = self.chunker.split(text, doc_id=doc_id)
+        for chunk in chunks:
+            if chunk.chunk_id in self._chunks:
+                continue
+            self._chunks[chunk.chunk_id] = chunk
+            self.store.add(chunk.chunk_id, self.embedder.embed(chunk.text))
+        return chunks
+
+    def add_documents(self, documents: dict[str, str]) -> int:
+        """Index several documents; returns the number of chunks added."""
+        before = len(self._chunks)
+        for doc_id, text in documents.items():
+            self.add_document(doc_id, text)
+        return len(self._chunks) - before
+
+    def add_chunk(self, chunk: TextChunk) -> None:
+        """Index an already-split chunk (used by datasets that pre-chunk)."""
+        if chunk.chunk_id in self._chunks:
+            return
+        self._chunks[chunk.chunk_id] = chunk
+        self.store.add(chunk.chunk_id, self.embedder.embed(chunk.text))
+
+    # ------------------------------------------------------------------
+    def retrieve(self, query: str, top_k: int = 6) -> list[TextChunk]:
+        """Return the *top_k* most relevant chunks for *query*.
+
+        If ``shuffle_seed`` is set, the returned chunks are shuffled (the
+        paper feeds retrieved chunks to the LLM "in a random order").
+        """
+        results = self.store.search(self.embedder.embed(query), top_k=top_k)
+        chunks = [self._chunks[r.item_id] for r in results]
+        if self.shuffle_seed is not None and len(chunks) > 1:
+            rng = np.random.default_rng(self.shuffle_seed + len(query))
+            order = rng.permutation(len(chunks))
+            chunks = [chunks[i] for i in order]
+        return chunks
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._chunks)
+
+    def get_chunk(self, chunk_id: str) -> TextChunk:
+        return self._chunks[chunk_id]

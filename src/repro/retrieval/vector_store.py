@@ -1,0 +1,74 @@
+"""Brute-force L2 vector store (FAISS flat-index substitute)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One nearest-neighbour hit."""
+
+    item_id: str
+    distance: float
+    rank: int
+
+
+@dataclass
+class VectorStore:
+    """Exact (brute-force) L2 nearest-neighbour index."""
+
+    dim: int
+    _ids: list[str] = field(default_factory=list)
+    _vectors: list[np.ndarray] = field(default_factory=list)
+    _matrix: np.ndarray | None = field(default=None, repr=False)
+
+    def add(self, item_id: str, vector: np.ndarray) -> None:
+        """Add one vector under *item_id* (duplicate ids are rejected)."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected vector of shape ({self.dim},), got {vector.shape}")
+        if item_id in self._ids:
+            raise ValueError(f"duplicate item id {item_id!r}")
+        self._ids.append(item_id)
+        self._vectors.append(vector)
+        self._matrix = None
+
+    def add_batch(self, item_ids: list[str], vectors: np.ndarray) -> None:
+        if len(item_ids) != len(vectors):
+            raise ValueError("item_ids and vectors must have the same length")
+        for item_id, vector in zip(item_ids, vectors):
+            self.add(item_id, vector)
+
+    def _ensure_matrix(self) -> np.ndarray:
+        if self._matrix is None:
+            if not self._vectors:
+                self._matrix = np.zeros((0, self.dim))
+            else:
+                self._matrix = np.stack(self._vectors)
+        return self._matrix
+
+    def search(self, query: np.ndarray, top_k: int = 5) -> list[SearchResult]:
+        """Return the *top_k* items with least L2 distance to *query*."""
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        query = np.asarray(query, dtype=np.float64)
+        if query.shape != (self.dim,):
+            raise ValueError(f"expected query of shape ({self.dim},), got {query.shape}")
+        matrix = self._ensure_matrix()
+        if matrix.shape[0] == 0:
+            return []
+        distances = np.linalg.norm(matrix - query[None, :], axis=1)
+        order = np.argsort(distances, kind="stable")[:top_k]
+        return [
+            SearchResult(item_id=self._ids[i], distance=float(distances[i]), rank=rank)
+            for rank, i in enumerate(order)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, item_id: str) -> bool:
+        return item_id in self._ids

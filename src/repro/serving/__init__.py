@@ -1,0 +1,28 @@
+"""Serving substrate: cost model, requests, scheduler and load simulator.
+
+The paper's end-to-end numbers (TTFT, throughput under increasing request
+rates, batch-size sensitivity) come from running real GPUs.  Offline, this
+package provides an analytical cost model calibrated against the delays the
+paper reports, an inference-engine wrapper that combines the cost model with
+the CacheBlend pipeline, and a discrete-event simulator that replays Poisson
+request arrivals against a GPU-bound server to produce the request-rate
+sweeps of Figure 14.
+"""
+
+from repro.serving.costmodel import GPUSpec, ServingCostModel
+from repro.serving.request import GenerationRequest, RequestTiming
+from repro.serving.engine import InferenceEngine, EngineResult
+from repro.serving.scheduler import FCFSScheduler
+from repro.serving.simulator import LoadSimulator, SimulationResult
+
+__all__ = [
+    "GPUSpec",
+    "ServingCostModel",
+    "GenerationRequest",
+    "RequestTiming",
+    "InferenceEngine",
+    "EngineResult",
+    "FCFSScheduler",
+    "LoadSimulator",
+    "SimulationResult",
+]

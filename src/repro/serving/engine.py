@@ -1,0 +1,113 @@
+"""Inference engine: per-request service-time estimates per serving scheme.
+
+The engine turns a :class:`~repro.serving.request.GenerationRequest` into the
+delays that matter for end-to-end serving:
+
+* ``gpu_time`` — how long the GPU is busy on the request's prefill (this is
+  what limits throughput; KV loading from RAM/SSD overlaps and does not
+  occupy the GPU);
+* ``ttft_service`` — the service part of TTFT (prefill or pipelined
+  load+recompute, plus the first decode step);
+* ``decode_time`` — the remaining decoding after the first token.
+
+Supported schemes mirror the paper's baselines: ``full_recompute``,
+``prefix_caching``, ``full_reuse`` and ``cacheblend``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kvstore.device import StorageDevice
+from repro.serving.costmodel import ServingCostModel
+from repro.serving.request import GenerationRequest
+
+SCHEMES = ("full_recompute", "prefix_caching", "full_reuse", "cacheblend")
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Service-time breakdown of one request."""
+
+    scheme: str
+    gpu_time: float
+    ttft_service: float
+    decode_time: float
+
+    @property
+    def total_service_time(self) -> float:
+        return self.ttft_service + self.decode_time
+
+
+@dataclass
+class InferenceEngine:
+    """Service-time estimator for one scheme on one model/device pair."""
+
+    cost_model: ServingCostModel
+    scheme: str = "cacheblend"
+    device: StorageDevice | None = None
+    recompute_ratio: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {self.scheme!r}; expected one of {SCHEMES}")
+        if self.scheme in ("full_reuse", "cacheblend") and self.device is None:
+            raise ValueError(f"scheme {self.scheme!r} requires a storage device")
+        if not 0.0 <= self.recompute_ratio <= 1.0:
+            raise ValueError("recompute_ratio must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+    def serve(self, request: GenerationRequest) -> EngineResult:
+        """Estimate the service times of *request* under this engine's scheme."""
+        n_total = request.n_total_tokens
+        n_suffix = request.n_suffix_tokens
+        cached_context = int(round(request.cached_chunk_fraction * request.n_context_tokens))
+        cold_context = request.n_context_tokens - cached_context
+
+        if self.scheme == "full_recompute":
+            prefill = self.cost_model.prefill_time(n_total)
+            gpu_time = prefill
+            ttft_service = prefill
+        elif self.scheme == "prefix_caching":
+            n_prefix = int(round(request.prefix_cached_fraction * request.n_context_tokens))
+            prefill = self.cost_model.prefill_time_with_prefix(n_total, n_prefix)
+            gpu_time = prefill
+            ttft_service = prefill
+        elif self.scheme == "full_reuse":
+            ttft_service = self.cost_model.ttft_full_reuse(
+                cached_context + n_suffix, n_suffix, self.device
+            )
+            gpu_time = self.cost_model.recompute_time(
+                cached_context + n_suffix, n_suffix / max(1, cached_context + n_suffix)
+            )
+            if cold_context:
+                cold = self.cost_model.prefill_time(cold_context)
+                ttft_service += cold
+                gpu_time += cold
+        else:  # cacheblend
+            ttft_service = self.cost_model.ttft_cacheblend(
+                cached_context + n_suffix, n_suffix, self.recompute_ratio, self.device
+            )
+            recomputed_fraction = (
+                self.recompute_ratio * cached_context + n_suffix
+            ) / max(1, cached_context + n_suffix)
+            gpu_time = self.cost_model.recompute_time(
+                cached_context + n_suffix, recomputed_fraction
+            )
+            # Layer 0 is fully recomputed.
+            gpu_time += self.cost_model.prefill_layer_time(cached_context + n_suffix)
+            if cold_context:
+                cold = self.cost_model.prefill_time(cold_context)
+                ttft_service += cold
+                gpu_time += cold
+
+        first_token = self.cost_model.decode_time_per_token(context_tokens=n_total)
+        remaining_decode = self.cost_model.decode_time(
+            max(0, request.n_output_tokens - 1), context_tokens=n_total
+        )
+        return EngineResult(
+            scheme=self.scheme,
+            gpu_time=gpu_time + first_token,
+            ttft_service=ttft_service + first_token,
+            decode_time=remaining_decode,
+        )

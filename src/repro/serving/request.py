@@ -1,0 +1,81 @@
+"""Request abstractions used by the serving simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GenerationRequest:
+    """One RAG generation request, described by its token budget.
+
+    Attributes
+    ----------
+    request_id:
+        Unique identifier.
+    n_chunks / chunk_tokens:
+        The retrieved context layout (``n_chunks`` chunks of ``chunk_tokens``
+        tokens each).
+    n_suffix_tokens:
+        Tokens of the user question appended after the chunks.
+    n_output_tokens:
+        Tokens to decode for the answer.
+    arrival_time:
+        Arrival timestamp in seconds (set by the load generator).
+    cached_chunk_fraction:
+        Fraction of the context chunks whose KV cache is already stored
+        (cache hits).  Misses must be prefilled from scratch.
+    prefix_cached_fraction:
+        Fraction of the context usable by *prefix* caching (only the leading
+        chunk(s) shared with previous requests).
+    """
+
+    request_id: int
+    n_chunks: int = 6
+    chunk_tokens: int = 512
+    n_suffix_tokens: int = 32
+    n_output_tokens: int = 32
+    arrival_time: float = 0.0
+    cached_chunk_fraction: float = 1.0
+    prefix_cached_fraction: float = 0.17
+
+    def __post_init__(self) -> None:
+        if self.n_chunks < 1 or self.chunk_tokens < 1:
+            raise ValueError("requests need at least one chunk of at least one token")
+        if not 0.0 <= self.cached_chunk_fraction <= 1.0:
+            raise ValueError("cached_chunk_fraction must be in [0, 1]")
+        if not 0.0 <= self.prefix_cached_fraction <= 1.0:
+            raise ValueError("prefix_cached_fraction must be in [0, 1]")
+
+    @property
+    def n_context_tokens(self) -> int:
+        return self.n_chunks * self.chunk_tokens
+
+    @property
+    def n_total_tokens(self) -> int:
+        return self.n_context_tokens + self.n_suffix_tokens
+
+
+@dataclass
+class RequestTiming:
+    """Lifecycle timestamps of one request inside the simulator."""
+
+    request_id: int
+    arrival_time: float
+    start_time: float = 0.0
+    first_token_time: float = 0.0
+    completion_time: float = 0.0
+    gpu_time: float = field(default=0.0)
+
+    @property
+    def queueing_delay(self) -> float:
+        return self.start_time - self.arrival_time
+
+    @property
+    def ttft(self) -> float:
+        """Time to first token, measured from arrival (includes queueing)."""
+        return self.first_token_time - self.arrival_time
+
+    @property
+    def latency(self) -> float:
+        return self.completion_time - self.arrival_time

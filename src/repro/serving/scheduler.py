@@ -1,0 +1,55 @@
+"""First-come-first-served scheduling of requests onto GPU servers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.engine import EngineResult
+from repro.serving.request import GenerationRequest, RequestTiming
+
+
+@dataclass
+class FCFSScheduler:
+    """FCFS scheduler over ``n_servers`` identical GPU servers.
+
+    The GPU is occupied for ``gpu_time + decode_time`` of each request; the
+    first token is emitted ``ttft_service`` after the request starts (KV
+    loading from storage overlaps with GPU work of the same request but the
+    GPU is not free for other requests during its own compute).
+    """
+
+    n_servers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ValueError("n_servers must be >= 1")
+
+    def schedule(
+        self,
+        requests: list[GenerationRequest],
+        results: list[EngineResult],
+    ) -> list[RequestTiming]:
+        """Assign start times in arrival order; returns per-request timings."""
+        if len(requests) != len(results):
+            raise ValueError("requests and results must have the same length")
+        order = sorted(range(len(requests)), key=lambda i: requests[i].arrival_time)
+        server_free = [0.0] * self.n_servers
+        timings: list[RequestTiming] = [None] * len(requests)  # type: ignore[list-item]
+        for index in order:
+            request = requests[index]
+            result = results[index]
+            server = min(range(self.n_servers), key=lambda s: server_free[s])
+            start = max(request.arrival_time, server_free[server])
+            occupancy = max(result.ttft_service, result.gpu_time) + result.decode_time
+            first_token = start + result.ttft_service
+            completion = start + occupancy
+            server_free[server] = completion
+            timings[index] = RequestTiming(
+                request_id=request.request_id,
+                arrival_time=request.arrival_time,
+                start_time=start,
+                first_token_time=first_token,
+                completion_time=completion,
+                gpu_time=result.gpu_time,
+            )
+        return timings

@@ -1,0 +1,123 @@
+"""Discrete-event load simulator for request-rate sweeps (paper Figure 14).
+
+Requests arrive as a Poisson process; each is served by an
+:class:`~repro.serving.engine.InferenceEngine` under a chosen scheme, and a
+FCFS scheduler assigns them to GPU servers.  The simulator reports average and
+tail TTFT so the hockey-stick curves of Figure 14 can be regenerated: schemes
+whose prefill keeps the GPU busy longer saturate at lower request rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.engine import InferenceEngine
+from repro.serving.request import GenerationRequest, RequestTiming
+from repro.serving.scheduler import FCFSScheduler
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of the simulated RAG workload."""
+
+    n_chunks: int = 6
+    chunk_tokens: int = 512
+    n_suffix_tokens: int = 32
+    n_output_tokens: int = 32
+    cached_chunk_fraction: float = 1.0
+    prefix_cached_fraction: float = 0.17
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate metrics of one simulation run."""
+
+    request_rate: float
+    n_requests: int
+    mean_ttft: float
+    p50_ttft: float
+    p90_ttft: float
+    p99_ttft: float
+    mean_queueing: float
+    throughput: float
+    gpu_utilisation: float
+    timings: list[RequestTiming] = field(default_factory=list, repr=False)
+
+
+@dataclass
+class LoadSimulator:
+    """Poisson open-loop load generator plus FCFS service simulation."""
+
+    engine: InferenceEngine
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    n_servers: int = 1
+    seed: int = 0
+
+    def generate_requests(self, request_rate: float, n_requests: int) -> list[GenerationRequest]:
+        """Sample *n_requests* Poisson arrivals at *request_rate* per second."""
+        if request_rate <= 0:
+            raise ValueError("request_rate must be positive")
+        if n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        rng = np.random.default_rng(self.seed)
+        inter_arrival = rng.exponential(1.0 / request_rate, size=n_requests)
+        arrivals = np.cumsum(inter_arrival)
+        return [
+            GenerationRequest(
+                request_id=i,
+                n_chunks=self.workload.n_chunks,
+                chunk_tokens=self.workload.chunk_tokens,
+                n_suffix_tokens=self.workload.n_suffix_tokens,
+                n_output_tokens=self.workload.n_output_tokens,
+                arrival_time=float(arrivals[i]),
+                cached_chunk_fraction=self.workload.cached_chunk_fraction,
+                prefix_cached_fraction=self.workload.prefix_cached_fraction,
+            )
+            for i in range(n_requests)
+        ]
+
+    def run(self, request_rate: float, n_requests: int = 200) -> SimulationResult:
+        """Simulate *n_requests* arrivals at *request_rate* requests/second."""
+        requests = self.generate_requests(request_rate, n_requests)
+        results = [self.engine.serve(request) for request in requests]
+        scheduler = FCFSScheduler(n_servers=self.n_servers)
+        timings = scheduler.schedule(requests, results)
+
+        ttfts = np.array([t.ttft for t in timings])
+        queueing = np.array([t.queueing_delay for t in timings])
+        makespan = max(t.completion_time for t in timings) - min(
+            r.arrival_time for r in requests
+        )
+        busy = sum(max(res.ttft_service, res.gpu_time) + res.decode_time for res in results)
+        return SimulationResult(
+            request_rate=request_rate,
+            n_requests=n_requests,
+            mean_ttft=float(ttfts.mean()),
+            p50_ttft=float(np.percentile(ttfts, 50)),
+            p90_ttft=float(np.percentile(ttfts, 90)),
+            p99_ttft=float(np.percentile(ttfts, 99)),
+            mean_queueing=float(queueing.mean()),
+            throughput=n_requests / makespan if makespan > 0 else float("inf"),
+            gpu_utilisation=min(1.0, busy / (self.n_servers * makespan)) if makespan > 0 else 1.0,
+            timings=timings,
+        )
+
+    def sweep(self, request_rates: list[float], n_requests: int = 200) -> list[SimulationResult]:
+        """Run the simulation for every rate in *request_rates*."""
+        return [self.run(rate, n_requests=n_requests) for rate in request_rates]
+
+    def max_sustainable_rate(
+        self,
+        ttft_limit: float,
+        rate_grid: list[float],
+        n_requests: int = 200,
+    ) -> float:
+        """Largest rate in *rate_grid* whose mean TTFT stays under *ttft_limit*."""
+        best = 0.0
+        for rate in sorted(rate_grid):
+            result = self.run(rate, n_requests=n_requests)
+            if result.mean_ttft <= ttft_limit:
+                best = rate
+        return best

@@ -1,0 +1,12 @@
+"""Deterministic tokenizer substrate.
+
+The original CacheBlend implementation relies on the HuggingFace tokenizers of
+the evaluated models.  Offline, this package provides a deterministic
+word-level tokenizer with a stable hashing vocabulary so that the same text
+always maps to the same token ids across processes and runs.
+"""
+
+from repro.tokenizer.vocab import Vocabulary, SpecialTokens
+from repro.tokenizer.tokenizer import Tokenizer
+
+__all__ = ["Vocabulary", "SpecialTokens", "Tokenizer"]

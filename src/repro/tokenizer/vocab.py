@@ -1,0 +1,99 @@
+"""Vocabulary with stable hashing.
+
+Token ids must be stable across runs and processes (KV cache keys are derived
+from token ids), so the vocabulary maps words to ids with a deterministic FNV-1a
+hash rather than relying on insertion order or Python's randomized ``hash``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_FNV_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def stable_hash(text: str) -> int:
+    """Return a deterministic 64-bit FNV-1a hash of *text*."""
+    value = _FNV_OFFSET
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * _FNV_PRIME) & _FNV_MASK
+    return value
+
+
+@dataclass(frozen=True)
+class SpecialTokens:
+    """Ids of the reserved special tokens.
+
+    The special ids occupy the lowest slots of the vocabulary so that hashed
+    word ids never collide with them.
+    """
+
+    pad: int = 0
+    bos: int = 1
+    eos: int = 2
+    sep: int = 3
+    unk: int = 4
+
+    @property
+    def count(self) -> int:
+        return 5
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "<pad>": self.pad,
+            "<bos>": self.bos,
+            "<eos>": self.eos,
+            "<sep>": self.sep,
+            "<unk>": self.unk,
+        }
+
+
+@dataclass
+class Vocabulary:
+    """Hash-bucketed vocabulary of a fixed size.
+
+    Words are assigned ids deterministically via ``stable_hash(word) % buckets``.
+    A reverse map remembers the first word observed for each bucket so decoded
+    text remains readable; collisions are tolerated (they only affect decoding
+    of rare words, never encoding stability).
+    """
+
+    size: int = 32_768
+    special: SpecialTokens = field(default_factory=SpecialTokens)
+
+    def __post_init__(self) -> None:
+        if self.size <= self.special.count:
+            raise ValueError(
+                f"vocabulary size {self.size} must exceed the "
+                f"{self.special.count} reserved special tokens"
+            )
+        self._reverse: dict[int, str] = {
+            token_id: text for text, token_id in self.special.as_dict().items()
+        }
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of ids available to regular (non-special) words."""
+        return self.size - self.special.count
+
+    def word_to_id(self, word: str) -> int:
+        """Return the stable id of *word*, registering it for decoding."""
+        if not word:
+            return self.special.unk
+        token_id = self.special.count + stable_hash(word) % self.num_buckets
+        self._reverse.setdefault(token_id, word)
+        return token_id
+
+    def id_to_word(self, token_id: int) -> str:
+        """Return a word for *token_id* (``<unk>`` if never observed)."""
+        return self._reverse.get(token_id, "<unk>")
+
+    def __contains__(self, token_id: int) -> bool:
+        return 0 <= token_id < self.size
+
+    def __len__(self) -> int:
+        return self.size
