@@ -1,0 +1,53 @@
+"""Workload synthesis and serving-scheme experiment sweeps.
+
+This package is the measurement substrate of the reproduction: it generates
+paper-style RAG request streams (:mod:`repro.bench.workload`), sweeps serving
+schemes over models, storage devices and recompute ratios
+(:mod:`repro.bench.experiment`) and writes machine-readable ``BENCH_*.json``
+reports (:mod:`repro.bench.report`).  ``python -m repro.bench --smoke`` runs
+the CI-sized sweep.
+"""
+
+from repro.bench.experiment import (
+    QUALITY_SCORES,
+    CellResult,
+    ExperimentConfig,
+    ExperimentReport,
+    ExperimentRunner,
+    build_comparisons,
+    run_proxy_probe,
+)
+from repro.bench.report import (
+    SCHEMA_VERSION,
+    format_summary,
+    report_to_dict,
+    save_report,
+    validate_report,
+)
+from repro.bench.workload import (
+    DATASET_PRESETS,
+    DatasetSpec,
+    WorkloadGenerator,
+    WorkloadStats,
+    get_dataset,
+)
+
+__all__ = [
+    "QUALITY_SCORES",
+    "CellResult",
+    "ExperimentConfig",
+    "ExperimentReport",
+    "ExperimentRunner",
+    "build_comparisons",
+    "run_proxy_probe",
+    "SCHEMA_VERSION",
+    "format_summary",
+    "report_to_dict",
+    "save_report",
+    "validate_report",
+    "DATASET_PRESETS",
+    "DatasetSpec",
+    "WorkloadGenerator",
+    "WorkloadStats",
+    "get_dataset",
+]

@@ -1,0 +1,104 @@
+"""CLI entrypoint: ``python -m repro.bench``.
+
+Runs a scheme × model × device × recompute-ratio sweep over a synthesized
+RAG workload and writes a ``BENCH_*.json`` report.  ``--smoke`` selects the
+small configuration CI runs on every push (finishes in seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiment import SCHEDULERS, ExperimentConfig, ExperimentRunner
+from repro.bench.report import format_summary, report_to_dict, save_report
+from repro.bench.workload import DATASET_PRESETS
+from repro.kvstore.device import DEVICE_PRESETS
+from repro.model.config import MODEL_PRESETS
+from repro.serving.engine import SCHEMES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="CacheBlend serving-scheme benchmark sweeps",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the small CI-sized sweep (overrides size-related options)",
+    )
+    parser.add_argument(
+        "--models", nargs="+", default=None, metavar="MODEL",
+        help=f"model presets to sweep (known: {', '.join(sorted(MODEL_PRESETS))})",
+    )
+    parser.add_argument(
+        "--devices", nargs="+", default=None, metavar="DEVICE",
+        help=f"storage devices to sweep (known: {', '.join(sorted(DEVICE_PRESETS))})",
+    )
+    parser.add_argument(
+        "--schemes", nargs="+", default=None, choices=SCHEMES, metavar="SCHEME",
+        help=f"serving schemes to sweep (default: all of {', '.join(SCHEMES)})",
+    )
+    parser.add_argument(
+        "--ratios", nargs="+", type=float, default=None, metavar="R",
+        help="CacheBlend recompute ratios to sweep (default: 0.15)",
+    )
+    parser.add_argument(
+        "--dataset", default="2wikimqa", choices=sorted(DATASET_PRESETS),
+        help="workload dataset preset",
+    )
+    parser.add_argument("--rate", type=float, default=1.0, help="requests per second")
+    parser.add_argument("--n-requests", type=int, default=100)
+    parser.add_argument("--n-servers", type=int, default=1)
+    parser.add_argument(
+        "--scheduler", default="continuous", choices=SCHEDULERS,
+        help="request scheduler (continuous batching by default)",
+    )
+    parser.add_argument("--max-batch-tokens", type=int, default=16_384)
+    parser.add_argument("--zipf-alpha", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--with-proxy", action="store_true",
+        help="also run the NumPy BlendEngine probe (real fusion numerics)",
+    )
+    parser.add_argument("--out-dir", default=".", help="directory for BENCH_*.json")
+    parser.add_argument("--tag", default=None, help="label embedded in the filename")
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    # --smoke overrides only the size-related options (request count and
+    # rate); everything else the user passed explicitly is respected and
+    # recorded as-is in the report's config block.
+    smoke = ExperimentConfig.smoke() if args.smoke else None
+    return ExperimentConfig(
+        models=tuple(args.models or ("mistral-7b", "yi-34b")),
+        devices=tuple(args.devices or ("cpu_ram", "nvme_ssd")),
+        schemes=tuple(args.schemes or SCHEMES),
+        recompute_ratios=tuple(args.ratios or (0.15,)),
+        dataset=args.dataset,
+        request_rate=smoke.request_rate if smoke else args.rate,
+        n_requests=smoke.n_requests if smoke else args.n_requests,
+        n_servers=args.n_servers,
+        scheduler=args.scheduler,
+        max_batch_tokens=args.max_batch_tokens,
+        zipf_alpha=args.zipf_alpha,
+        seed=args.seed,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = config_from_args(args)
+    runner = ExperimentRunner(config)
+    report = runner.run(with_proxy=args.with_proxy or args.smoke)
+    tag = args.tag if args.tag is not None else ("smoke" if args.smoke else "")
+    out_path = save_report(report, out_dir=args.out_dir, tag=tag)
+    print(format_summary(report_to_dict(report, tag=tag)))
+    print(f"\nwrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Machine-readable bench reports (``BENCH_*.json``).
+
+One report is a single JSON document with a versioned schema:
+
+.. code-block:: text
+
+    {
+      "schema_version": 1,
+      "created": "<ISO-8601 UTC timestamp>",
+      "tag": "<free-form label, e.g. 'smoke'>",
+      "config": { ...ExperimentConfig fields... },
+      "workload": { ...WorkloadStats fields... },
+      "cells": [ { model, device, scheme, recompute_ratio, metrics... } ],
+      "comparisons": [ { model, device, cacheblend vs baselines... } ],
+      "proxy": { ...optional BlendEngine probe... } | null
+    }
+
+:func:`validate_report` checks structural invariants so CI (and tests) can
+fail fast when the schema drifts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.bench.experiment import ExperimentReport
+
+SCHEMA_VERSION = 1
+
+_REQUIRED_TOP_LEVEL = ("schema_version", "created", "tag", "config", "workload", "cells")
+_REQUIRED_CELL_FIELDS = (
+    "model",
+    "device",
+    "scheme",
+    "recompute_ratio",
+    "mean_ttft",
+    "p50_ttft",
+    "p90_ttft",
+    "p99_ttft",
+    "throughput",
+    "mean_recomputed_fraction",
+    "quality",
+    "quality_adjusted_ttft",
+)
+
+
+def report_to_dict(report: ExperimentReport, tag: str = "") -> dict[str, object]:
+    """Serialise an :class:`ExperimentReport` into the schema above."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "created": datetime.now(timezone.utc).isoformat(),
+        "tag": tag,
+        "config": asdict(report.config),
+        "workload": report.workload,
+        "cells": [cell.as_dict() for cell in report.cells],
+        "comparisons": report.comparisons,
+        "proxy": report.proxy,
+    }
+
+
+def validate_report(document: dict[str, object]) -> None:
+    """Raise ``ValueError`` when *document* does not match the schema."""
+    for key in _REQUIRED_TOP_LEVEL:
+        if key not in document:
+            raise ValueError(f"report is missing top-level key {key!r}")
+    if document["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema_version {document['schema_version']!r}; "
+            f"expected {SCHEMA_VERSION}"
+        )
+    cells = document["cells"]
+    if not isinstance(cells, list) or not cells:
+        raise ValueError("report must contain a non-empty 'cells' list")
+    for i, cell in enumerate(cells):
+        for key in _REQUIRED_CELL_FIELDS:
+            if key not in cell:
+                raise ValueError(f"cell {i} is missing field {key!r}")
+        if not 0.0 <= cell["mean_recomputed_fraction"] <= 1.0:
+            raise ValueError(f"cell {i} has an out-of-range recompute fraction")
+        if cell["mean_ttft"] < 0.0:
+            raise ValueError(f"cell {i} has a negative mean TTFT")
+    comparisons = document.get("comparisons", [])
+    if not isinstance(comparisons, list):
+        raise ValueError("'comparisons' must be a list")
+
+
+def report_filename(tag: str = "") -> str:
+    """``BENCH_<tag>_<UTC timestamp>.json`` (tag omitted when empty)."""
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+    middle = f"{tag}_" if tag else ""
+    return f"BENCH_{middle}{stamp}.json"
+
+
+def save_report(
+    report: ExperimentReport, out_dir: str | Path = ".", tag: str = ""
+) -> Path:
+    """Serialise, validate and write the report; returns the written path."""
+    document = report_to_dict(report, tag=tag)
+    validate_report(document)
+    out_path = Path(out_dir) / report_filename(tag)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return out_path
+
+
+def format_summary(document: dict[str, object]) -> str:
+    """Human-readable table of the comparisons, for CLI output."""
+    lines = [
+        f"bench report (tag={document['tag'] or '-'}, "
+        f"{len(document['cells'])} cells, dataset={document['config']['dataset']}, "
+        f"scheduler={document['config']['scheduler']})",
+        f"{'model':<12} {'device':<10} {'blend ttft':>11} {'recomp ttft':>12} "
+        f"{'reuse qa-ttft':>14} {'speedup':>8}",
+    ]
+    for row in document.get("comparisons", []):
+        lines.append(
+            f"{row['model']:<12} {row['device']:<10} "
+            f"{row['cacheblend_mean_ttft']:>11.3f} "
+            f"{row.get('full_recompute_mean_ttft', float('nan')):>12.3f} "
+            f"{row.get('full_reuse_quality_adjusted_ttft', float('nan')):>14.3f} "
+            f"{row.get('speedup_vs_full_recompute', float('nan')):>7.2f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""Paper-style RAG workload synthesis.
+
+The paper's serving experiments (§6.1) replay multi-chunk RAG queries from
+four datasets — 2WikiMQA, Musique, SAMSum and MultiNews — whose requests
+differ in how many chunks they retrieve, how long the chunks are and how long
+the user suffix/answer are.  :class:`WorkloadGenerator` reproduces that shape
+synthetically:
+
+* arrivals follow a Poisson process at a configurable request rate;
+* per-request chunk count, chunk length, suffix length and output length are
+  sampled from per-dataset distributions (:class:`DatasetSpec` presets);
+* chunk *identity* is sampled from a Zipf popularity law over a corpus of
+  unique chunks, and a key-only LRU model of the chunk KV store
+  (:class:`~repro.kvstore.store.ChunkUsageTracker`) converts the resulting
+  reuse into per-request ``cached_chunk_fraction`` / ``prefix_cached_fraction``
+  values, so prefix-caching and full-reuse hit rates vary realistically with
+  popularity skew and cache capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kvstore.store import CacheStats, ChunkUsageTracker
+from repro.serving.request import GenerationRequest
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Request-shape distributions of one evaluation dataset.
+
+    Chunk/suffix/output token counts are sampled from normal distributions
+    clipped to sensible minima; the chunk count is uniform over
+    ``[min_chunks, max_chunks]``.
+    """
+
+    name: str
+    min_chunks: int
+    max_chunks: int
+    chunk_tokens_mean: float
+    chunk_tokens_std: float
+    suffix_tokens_mean: float
+    suffix_tokens_std: float
+    output_tokens_mean: float
+    output_tokens_std: float
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.min_chunks <= self.max_chunks:
+            raise ValueError("need 1 <= min_chunks <= max_chunks")
+        if self.chunk_tokens_mean < 1:
+            raise ValueError("chunk_tokens_mean must be >= 1")
+
+
+#: Dataset presets mirroring the paper's four workloads (§6.1): multi-hop QA
+#: datasets retrieve several mid-size passages with short answers, SAMSum has
+#: short dialogue chunks, MultiNews has long articles and long summaries.
+DATASET_PRESETS: dict[str, DatasetSpec] = {
+    "2wikimqa": DatasetSpec(
+        name="2wikimqa", min_chunks=4, max_chunks=8,
+        chunk_tokens_mean=512.0, chunk_tokens_std=96.0,
+        suffix_tokens_mean=32.0, suffix_tokens_std=8.0,
+        output_tokens_mean=32.0, output_tokens_std=8.0,
+    ),
+    "musique": DatasetSpec(
+        name="musique", min_chunks=4, max_chunks=10,
+        chunk_tokens_mean=400.0, chunk_tokens_std=80.0,
+        suffix_tokens_mean=40.0, suffix_tokens_std=10.0,
+        output_tokens_mean=24.0, output_tokens_std=6.0,
+    ),
+    "samsum": DatasetSpec(
+        name="samsum", min_chunks=2, max_chunks=6,
+        chunk_tokens_mean=220.0, chunk_tokens_std=60.0,
+        suffix_tokens_mean=24.0, suffix_tokens_std=6.0,
+        output_tokens_mean=48.0, output_tokens_std=12.0,
+    ),
+    "multinews": DatasetSpec(
+        name="multinews", min_chunks=3, max_chunks=8,
+        chunk_tokens_mean=700.0, chunk_tokens_std=160.0,
+        suffix_tokens_mean=48.0, suffix_tokens_std=12.0,
+        output_tokens_mean=128.0, output_tokens_std=32.0,
+    ),
+}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Return a dataset preset by name with a helpful error on typos."""
+    try:
+        return DATASET_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(DATASET_PRESETS))
+        raise KeyError(f"unknown dataset {name!r}; known datasets: {known}") from None
+
+
+@dataclass
+class WorkloadStats:
+    """Aggregate reuse statistics of one generated request stream."""
+
+    n_requests: int = 0
+    n_chunk_accesses: int = 0
+    chunk_hit_rate: float = 0.0
+    mean_cached_chunk_fraction: float = 0.0
+    mean_prefix_cached_fraction: float = 0.0
+    mean_context_tokens: float = 0.0
+    cache: dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "n_requests": self.n_requests,
+            "n_chunk_accesses": self.n_chunk_accesses,
+            "chunk_hit_rate": self.chunk_hit_rate,
+            "mean_cached_chunk_fraction": self.mean_cached_chunk_fraction,
+            "mean_prefix_cached_fraction": self.mean_prefix_cached_fraction,
+            "mean_context_tokens": self.mean_context_tokens,
+            "cache": dict(self.cache),
+        }
+
+
+@dataclass
+class WorkloadGenerator:
+    """Synthesizes paper-style RAG request streams.
+
+    Parameters
+    ----------
+    dataset:
+        A :class:`DatasetSpec` or the name of a preset.
+    request_rate:
+        Poisson arrival rate in requests per second.
+    n_unique_chunks:
+        Size of the chunk corpus requests draw from.
+    zipf_alpha:
+        Popularity skew of chunk accesses (``p(rank) ∝ rank**-alpha``).
+        Higher values concentrate traffic on few hot chunks and raise hit
+        rates; ``0`` is uniform.
+    cache_chunk_capacity:
+        Capacity (in chunks) of the simulated chunk KV store used to derive
+        per-request cached fractions.
+    seed:
+        RNG seed; streams are fully deterministic given the configuration.
+    """
+
+    dataset: DatasetSpec | str = "2wikimqa"
+    request_rate: float = 1.0
+    n_unique_chunks: int = 400
+    zipf_alpha: float = 1.0
+    cache_chunk_capacity: int = 160
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.dataset, str):
+            self.dataset = get_dataset(self.dataset)
+        if self.request_rate <= 0:
+            raise ValueError("request_rate must be positive")
+        if self.n_unique_chunks < 1:
+            raise ValueError("n_unique_chunks must be >= 1")
+        if self.zipf_alpha < 0:
+            raise ValueError("zipf_alpha must be >= 0")
+        self.stats = WorkloadStats()
+
+    # ------------------------------------------------------------------
+    def _popularity(self) -> np.ndarray:
+        ranks = np.arange(1, self.n_unique_chunks + 1, dtype=np.float64)
+        weights = ranks ** (-self.zipf_alpha)
+        return weights / weights.sum()
+
+    @staticmethod
+    def _clipped_int(rng: np.random.Generator, mean: float, std: float, low: int) -> int:
+        return max(low, int(round(rng.normal(mean, std))))
+
+    # ------------------------------------------------------------------
+    def generate(self, n_requests: int) -> list[GenerationRequest]:
+        """Sample *n_requests* requests; updates :attr:`stats` as a side effect."""
+        if n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        spec = self.dataset
+        if spec.max_chunks > self.n_unique_chunks:
+            raise ValueError(
+                f"n_unique_chunks ({self.n_unique_chunks}) must be >= the "
+                f"dataset's max_chunks ({spec.max_chunks})"
+            )
+        rng = np.random.default_rng(self.seed)
+        arrivals = np.cumsum(rng.exponential(1.0 / self.request_rate, size=n_requests))
+        popularity = self._popularity()
+        tracker = ChunkUsageTracker(
+            capacity_entries=self.cache_chunk_capacity, stats=CacheStats()
+        )
+
+        requests: list[GenerationRequest] = []
+        cached_fractions: list[float] = []
+        prefix_fractions: list[float] = []
+        for i in range(n_requests):
+            n_chunks = int(rng.integers(spec.min_chunks, spec.max_chunks + 1))
+            chunk_tokens = self._clipped_int(
+                rng, spec.chunk_tokens_mean, spec.chunk_tokens_std, 16
+            )
+            n_suffix = self._clipped_int(
+                rng, spec.suffix_tokens_mean, spec.suffix_tokens_std, 4
+            )
+            n_output = self._clipped_int(
+                rng, spec.output_tokens_mean, spec.output_tokens_std, 1
+            )
+            chunk_ids = rng.choice(
+                self.n_unique_chunks, size=n_chunks, replace=False, p=popularity
+            )
+            hits = [tracker.access(int(chunk)) for chunk in chunk_ids]
+            cached_fraction = sum(hits) / n_chunks
+            prefix_hits = 0
+            for hit in hits:
+                if not hit:
+                    break
+                prefix_hits += 1
+            prefix_fraction = prefix_hits / n_chunks
+            cached_fractions.append(cached_fraction)
+            prefix_fractions.append(prefix_fraction)
+            requests.append(
+                GenerationRequest(
+                    request_id=i,
+                    n_chunks=n_chunks,
+                    chunk_tokens=chunk_tokens,
+                    n_suffix_tokens=n_suffix,
+                    n_output_tokens=n_output,
+                    arrival_time=float(arrivals[i]),
+                    cached_chunk_fraction=cached_fraction,
+                    prefix_cached_fraction=prefix_fraction,
+                )
+            )
+
+        self.stats = WorkloadStats(
+            n_requests=n_requests,
+            n_chunk_accesses=tracker.stats.lookups,
+            chunk_hit_rate=tracker.stats.hit_rate,
+            mean_cached_chunk_fraction=float(np.mean(cached_fractions)),
+            mean_prefix_cached_fraction=float(np.mean(prefix_fractions)),
+            mean_context_tokens=float(
+                np.mean([r.n_context_tokens for r in requests])
+            ),
+            cache=tracker.stats.as_dict(),
+        )
+        return requests

@@ -22,9 +22,9 @@ import numpy as np
 
 from repro.core.controller import ControllerDecision, LoadingController
 from repro.core.fusor import FusionResult, FusorConfig, KVFusor
-from repro.kvstore.device import DEVICE_PRESETS, StorageDevice, get_device
+from repro.kvstore.device import StorageDevice, get_device
 from repro.kvstore.store import KVCacheStore, chunk_key
-from repro.model.config import MODEL_PRESETS, PAPER_MODEL_PAIRS, ModelConfig, get_config
+from repro.model.config import PAPER_MODEL_PAIRS, ModelConfig, get_config
 from repro.model.transformer import TransformerModel
 from repro.serving.costmodel import GPUSpec, ServingCostModel
 from repro.tokenizer.tokenizer import Tokenizer
@@ -218,6 +218,41 @@ class BlendEngine:
             n_context_tokens=context_tokens,
             n_suffix_tokens=int(suffix_ids.size),
         )
+
+    # ------------------------------------------------------------------
+    # Batch execution (used by the bench subsystem)
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        batch: list[tuple[list[str], str]],
+        recompute_ratio: float | None = None,
+        max_new_tokens: int = 0,
+    ) -> list[BlendResult]:
+        """Answer a batch of ``(chunk_texts, question)`` requests in order.
+
+        Requests share the engine's KV store, so chunks repeated across the
+        batch hit the cache exactly as they would across a request stream;
+        use :attr:`cache_stats` (or :meth:`reset_cache_stats`) to read the
+        resulting hit/miss accounting.
+        """
+        return [
+            self.run(
+                chunk_texts,
+                question,
+                recompute_ratio=recompute_ratio,
+                max_new_tokens=max_new_tokens,
+            )
+            for chunk_texts, question in batch
+        ]
+
+    @property
+    def cache_stats(self) -> dict[str, float]:
+        """JSON-friendly snapshot of the KV store's hit/miss counters."""
+        return self.kv_store.stats.as_dict()
+
+    def reset_cache_stats(self) -> None:
+        """Zero the KV store counters (e.g. between experiment cells)."""
+        self.kv_store.stats.reset()
 
     # ------------------------------------------------------------------
     def _estimate_ttft(

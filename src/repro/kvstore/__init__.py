@@ -8,7 +8,13 @@ multi-tier store used by the prefix-caching baseline (RAM + SSD).
 
 from repro.kvstore.device import DEVICE_PRESETS, StorageDevice
 from repro.kvstore.serialization import deserialize_kv, kv_nbytes, serialize_kv
-from repro.kvstore.store import CacheStats, EvictionPolicy, KVCacheStore, chunk_key
+from repro.kvstore.store import (
+    CacheStats,
+    ChunkUsageTracker,
+    EvictionPolicy,
+    KVCacheStore,
+    chunk_key,
+)
 from repro.kvstore.hierarchy import TieredKVStore
 
 __all__ = [
@@ -19,6 +25,7 @@ __all__ = [
     "kv_nbytes",
     "KVCacheStore",
     "CacheStats",
+    "ChunkUsageTracker",
     "EvictionPolicy",
     "chunk_key",
     "TieredKVStore",

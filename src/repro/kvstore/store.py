@@ -58,6 +58,24 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def reset(self) -> None:
+        """Zero the counters (bytes_stored reflects live entries and stays)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.inserts = 0
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-friendly snapshot, including the derived hit rate."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "inserts": self.inserts,
+            "bytes_stored": self.bytes_stored,
+            "hit_rate": self.hit_rate,
+        }
+
 
 @dataclass
 class _Entry:
@@ -188,3 +206,50 @@ class KVCacheStore:
 
     def keys(self) -> list[str]:
         return list(self._entries.keys())
+
+
+@dataclass
+class ChunkUsageTracker:
+    """Key-only LRU model of a chunk KV cache, for hit-rate accounting.
+
+    The workload generator and the experiment runner use it to answer "would
+    this chunk's KV have been cached?" without materialising actual KV
+    tensors: it tracks which chunk keys a store of ``capacity_entries``
+    entries would currently hold under LRU (or FIFO) replacement, and counts
+    hits/misses/evictions in a shared :class:`CacheStats`.
+    """
+
+    capacity_entries: int
+    policy: EvictionPolicy = EvictionPolicy.LRU
+    stats: CacheStats = field(default_factory=CacheStats)
+    _keys: "OrderedDict[object, None]" = field(default_factory=OrderedDict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_entries < 1:
+            raise ValueError("capacity_entries must be >= 1")
+
+    def access(self, key: object) -> bool:
+        """Record one chunk access; returns True on a hit.
+
+        On a miss the chunk is inserted (as the real system would precompute
+        and store it), evicting the replacement victim when full.
+        """
+        if key in self._keys:
+            self.stats.hits += 1
+            if self.policy is EvictionPolicy.LRU:
+                self._keys.move_to_end(key)
+            return True
+        self.stats.misses += 1
+        while len(self._keys) >= self.capacity_entries:
+            self._keys.popitem(last=False)
+            self.stats.evictions += 1
+        self._keys[key] = None
+        self.stats.inserts += 1
+        return False
+
+    def contains(self, key: object) -> bool:
+        return key in self._keys
+
+    @property
+    def n_entries(self) -> int:
+        return len(self._keys)

@@ -12,8 +12,12 @@ sweeps of Figure 14.
 from repro.serving.costmodel import GPUSpec, ServingCostModel
 from repro.serving.request import GenerationRequest, RequestTiming
 from repro.serving.engine import InferenceEngine, EngineResult
-from repro.serving.scheduler import FCFSScheduler
-from repro.serving.simulator import LoadSimulator, SimulationResult
+from repro.serving.scheduler import (
+    ContinuousBatchingScheduler,
+    FCFSScheduler,
+    Scheduler,
+)
+from repro.serving.simulator import LoadSimulator, SimulationResult, WorkloadSpec
 
 __all__ = [
     "GPUSpec",
@@ -22,7 +26,10 @@ __all__ = [
     "RequestTiming",
     "InferenceEngine",
     "EngineResult",
+    "Scheduler",
     "FCFSScheduler",
+    "ContinuousBatchingScheduler",
     "LoadSimulator",
     "SimulationResult",
+    "WorkloadSpec",
 ]

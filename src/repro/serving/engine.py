@@ -27,12 +27,20 @@ SCHEMES = ("full_recompute", "prefix_caching", "full_reuse", "cacheblend")
 
 @dataclass(frozen=True)
 class EngineResult:
-    """Service-time breakdown of one request."""
+    """Service-time breakdown of one request.
+
+    ``recomputed_fraction`` is the fraction of the input tokens whose KV was
+    (re)computed on the GPU rather than loaded from the cache — 1.0 for full
+    recompute, the suffix share for full reuse, and roughly the recompute
+    ratio for CacheBlend.  The experiment runner aggregates it to report how
+    much prefill compute each scheme actually spends.
+    """
 
     scheme: str
     gpu_time: float
     ttft_service: float
     decode_time: float
+    recomputed_fraction: float = 1.0
 
     @property
     def total_service_time(self) -> float:
@@ -68,11 +76,13 @@ class InferenceEngine:
             prefill = self.cost_model.prefill_time(n_total)
             gpu_time = prefill
             ttft_service = prefill
+            recomputed = float(n_total)
         elif self.scheme == "prefix_caching":
             n_prefix = int(round(request.prefix_cached_fraction * request.n_context_tokens))
             prefill = self.cost_model.prefill_time_with_prefix(n_total, n_prefix)
             gpu_time = prefill
             ttft_service = prefill
+            recomputed = float(n_total - n_prefix)
         elif self.scheme == "full_reuse":
             ttft_service = self.cost_model.ttft_full_reuse(
                 cached_context + n_suffix, n_suffix, self.device
@@ -80,6 +90,7 @@ class InferenceEngine:
             gpu_time = self.cost_model.recompute_time(
                 cached_context + n_suffix, n_suffix / max(1, cached_context + n_suffix)
             )
+            recomputed = float(n_suffix + cold_context)
             if cold_context:
                 cold = self.cost_model.prefill_time(cold_context)
                 ttft_service += cold
@@ -96,6 +107,7 @@ class InferenceEngine:
             )
             # Layer 0 is fully recomputed.
             gpu_time += self.cost_model.prefill_layer_time(cached_context + n_suffix)
+            recomputed = self.recompute_ratio * cached_context + n_suffix + cold_context
             if cold_context:
                 cold = self.cost_model.prefill_time(cold_context)
                 ttft_service += cold
@@ -110,4 +122,9 @@ class InferenceEngine:
             gpu_time=gpu_time + first_token,
             ttft_service=ttft_service + first_token,
             decode_time=remaining_decode,
+            recomputed_fraction=min(1.0, recomputed / max(1, n_total)),
         )
+
+    def serve_batch(self, requests: list[GenerationRequest]) -> list[EngineResult]:
+        """Estimate service times for a batch of requests, in order."""
+        return [self.serve(request) for request in requests]

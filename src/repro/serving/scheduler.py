@@ -1,11 +1,50 @@
-"""First-come-first-served scheduling of requests onto GPU servers."""
+"""Request schedulers: FCFS and iteration-level continuous batching.
+
+Both schedulers map ``(requests, results)`` pairs onto ``n_servers`` identical
+GPU servers and return per-request :class:`~repro.serving.request.RequestTiming`
+records.  They share the :class:`Scheduler` protocol so the simulator and the
+experiment runner can swap them freely.
+
+* :class:`FCFSScheduler` runs one request at a time per server, holding the
+  GPU for the request's whole prefill *and* decode (vLLM without continuous
+  batching, the paper's serving baseline).
+* :class:`ContinuousBatchingScheduler` admits requests at iteration
+  granularity under a per-server token budget, splits prefills into chunks
+  and interleaves one decode step per running request per iteration (Orca- /
+  vLLM-style continuous batching).  Short prefills no longer wait behind the
+  long decodes of earlier requests.
+"""
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 from repro.serving.engine import EngineResult
 from repro.serving.request import GenerationRequest, RequestTiming
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """Anything that can place engine results on servers over time."""
+
+    n_servers: int
+
+    def schedule(
+        self,
+        requests: list[GenerationRequest],
+        results: list[EngineResult],
+    ) -> list[RequestTiming]:
+        """Assign start/first-token/completion times to every request."""
+        ...
+
+
+def _check_lengths(
+    requests: list[GenerationRequest], results: list[EngineResult]
+) -> None:
+    if len(requests) != len(results):
+        raise ValueError("requests and results must have the same length")
 
 
 @dataclass
@@ -30,11 +69,10 @@ class FCFSScheduler:
         results: list[EngineResult],
     ) -> list[RequestTiming]:
         """Assign start times in arrival order; returns per-request timings."""
-        if len(requests) != len(results):
-            raise ValueError("requests and results must have the same length")
+        _check_lengths(requests, results)
         order = sorted(range(len(requests)), key=lambda i: requests[i].arrival_time)
         server_free = [0.0] * self.n_servers
-        timings: list[RequestTiming] = [None] * len(requests)  # type: ignore[list-item]
+        timing_by_index: dict[int, RequestTiming] = {}
         for index in order:
             request = requests[index]
             result = results[index]
@@ -44,7 +82,7 @@ class FCFSScheduler:
             first_token = start + result.ttft_service
             completion = start + occupancy
             server_free[server] = completion
-            timings[index] = RequestTiming(
+            timing_by_index[index] = RequestTiming(
                 request_id=request.request_id,
                 arrival_time=request.arrival_time,
                 start_time=start,
@@ -52,4 +90,197 @@ class FCFSScheduler:
                 completion_time=completion,
                 gpu_time=result.gpu_time,
             )
-        return timings
+        return [timing_by_index[i] for i in range(len(requests))]
+
+
+@dataclass
+class _RunningRequest:
+    """Book-keeping of one admitted request inside the batching loop."""
+
+    index: int
+    request: GenerationRequest
+    result: EngineResult
+    start_time: float
+    remaining_prefill: float
+    prefill_slice: float
+    decode_step: float
+    decode_steps_left: int
+    first_token_time: float | None = None
+
+
+@dataclass
+class ContinuousBatchingScheduler:
+    """Iteration-level continuous batching over ``n_servers`` servers.
+
+    Parameters
+    ----------
+    n_servers:
+        Number of identical GPU servers; each runs its own batching loop and
+        pulls from a shared arrival queue.
+    max_batch_tokens:
+        Token budget of one server's running batch: the sum of the total
+        (context + suffix) tokens of concurrently admitted requests may not
+        exceed it.  A single oversized request is still admitted alone rather
+        than starved.
+    prefill_chunk_tokens:
+        Chunked-prefill granularity.  A request's prefill service time is
+        split into ``ceil(n_total_tokens / prefill_chunk_tokens)`` equal
+        slices, one per iteration, so admission and decode steps interleave
+        with long prefills.
+    """
+
+    n_servers: int = 1
+    max_batch_tokens: int = 16_384
+    prefill_chunk_tokens: int = 512
+
+    def __post_init__(self) -> None:
+        if self.n_servers < 1:
+            raise ValueError("n_servers must be >= 1")
+        if self.max_batch_tokens < 1:
+            raise ValueError("max_batch_tokens must be >= 1")
+        if self.prefill_chunk_tokens < 1:
+            raise ValueError("prefill_chunk_tokens must be >= 1")
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        requests: list[GenerationRequest],
+        results: list[EngineResult],
+    ) -> list[RequestTiming]:
+        _check_lengths(requests, results)
+        order = sorted(range(len(requests)), key=lambda i: requests[i].arrival_time)
+        pending: deque[int] = deque(order)
+        clocks = [0.0] * self.n_servers
+        active: list[list[_RunningRequest]] = [[] for _ in range(self.n_servers)]
+        timing_by_index: dict[int, RequestTiming] = {}
+
+        while pending or any(active):
+            server = self._next_server(pending, requests, clocks, active)
+            clock = clocks[server]
+            batch = active[server]
+
+            self._admit(server, pending, requests, results, clocks, active)
+            if not batch:
+                # Nothing admitted: fast-forward to the next arrival.
+                clocks[server] = max(clock, requests[pending[0]].arrival_time)
+                continue
+
+            clocks[server] = self._run_iteration(batch, clock, timing_by_index)
+
+        return [timing_by_index[i] for i in range(len(requests))]
+
+    # ------------------------------------------------------------------
+    def _next_server(
+        self,
+        pending: deque[int],
+        requests: list[GenerationRequest],
+        clocks: list[float],
+        active: list[list[_RunningRequest]],
+    ) -> int:
+        """Server whose next iteration would start earliest."""
+        next_arrival = (
+            requests[pending[0]].arrival_time if pending else float("inf")
+        )
+
+        def next_event(server: int) -> float:
+            if active[server]:
+                return clocks[server]
+            return max(clocks[server], next_arrival)
+
+        return min(range(self.n_servers), key=next_event)
+
+    def _admit(
+        self,
+        server: int,
+        pending: deque[int],
+        requests: list[GenerationRequest],
+        results: list[EngineResult],
+        clocks: list[float],
+        active: list[list[_RunningRequest]],
+    ) -> None:
+        """Admit arrived requests into *server*'s batch within the budget."""
+        clock = clocks[server]
+        batch = active[server]
+        batch_tokens = sum(r.request.n_total_tokens for r in batch)
+        while pending and requests[pending[0]].arrival_time <= clock:
+            candidate = requests[pending[0]]
+            fits = batch_tokens + candidate.n_total_tokens <= self.max_batch_tokens
+            if not fits and batch:
+                break
+            index = pending.popleft()
+            batch.append(self._make_running(index, candidate, results[index], clock))
+            batch_tokens += candidate.n_total_tokens
+
+    def _make_running(
+        self,
+        index: int,
+        request: GenerationRequest,
+        result: EngineResult,
+        clock: float,
+    ) -> _RunningRequest:
+        n_tokens = request.n_total_tokens
+        n_prefill_iters = max(1, -(-n_tokens // self.prefill_chunk_tokens))
+        decode_steps = max(0, request.n_output_tokens - 1)
+        return _RunningRequest(
+            index=index,
+            request=request,
+            result=result,
+            start_time=clock,
+            remaining_prefill=result.ttft_service,
+            prefill_slice=result.ttft_service / n_prefill_iters,
+            decode_step=result.decode_time / decode_steps if decode_steps else 0.0,
+            decode_steps_left=decode_steps,
+        )
+
+    def _run_iteration(
+        self,
+        batch: list[_RunningRequest],
+        clock: float,
+        timing_by_index: dict[int, RequestTiming],
+    ) -> float:
+        """Run one batched iteration; returns the server clock afterwards.
+
+        The GPU is serial within an iteration: every running request gets one
+        work slice (a prefill chunk or one decode step) and the iteration
+        lasts the sum of the slices.  Completions are recorded at iteration
+        end, which keeps ``first_token_time >= start_time >= arrival_time``.
+        """
+        duration = 0.0
+        for running in batch:
+            if running.remaining_prefill > 0.0:
+                duration += min(running.remaining_prefill, running.prefill_slice)
+            elif running.decode_steps_left > 0:
+                duration += running.decode_step
+        iteration_end = clock + duration
+
+        finished: list[_RunningRequest] = []
+        for running in batch:
+            if running.remaining_prefill > 0.0:
+                slice_ = min(running.remaining_prefill, running.prefill_slice)
+                running.remaining_prefill -= slice_
+                if running.remaining_prefill <= 1e-12:
+                    running.remaining_prefill = 0.0
+                    running.first_token_time = iteration_end
+                    if running.decode_steps_left == 0:
+                        finished.append(running)
+            elif running.decode_steps_left > 0:
+                running.decode_steps_left -= 1
+                if running.decode_steps_left == 0:
+                    finished.append(running)
+
+        for running in finished:
+            batch.remove(running)
+            first_token = (
+                running.first_token_time
+                if running.first_token_time is not None
+                else iteration_end
+            )
+            timing_by_index[running.index] = RequestTiming(
+                request_id=running.request.request_id,
+                arrival_time=running.request.arrival_time,
+                start_time=running.start_time,
+                first_token_time=first_token,
+                completion_time=iteration_end,
+                gpu_time=running.result.gpu_time,
+            )
+        return iteration_end

@@ -13,9 +13,54 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.serving.engine import InferenceEngine
+from repro.serving.engine import EngineResult, InferenceEngine
 from repro.serving.request import GenerationRequest, RequestTiming
-from repro.serving.scheduler import FCFSScheduler
+from repro.serving.scheduler import FCFSScheduler, Scheduler
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Aggregate serving metrics of one scheduled run.
+
+    Shared between the load simulator and the experiment runner so the
+    busy-time / utilisation accounting lives in exactly one place.
+    """
+
+    mean_ttft: float
+    p50_ttft: float
+    p90_ttft: float
+    p99_ttft: float
+    mean_queueing: float
+    throughput: float
+    gpu_utilisation: float
+    makespan: float
+
+
+def summarise_run(
+    requests: list[GenerationRequest],
+    results: list[EngineResult],
+    timings: list[RequestTiming],
+    n_servers: int,
+) -> RunSummary:
+    """Aggregate TTFT percentiles, throughput and GPU utilisation."""
+    ttfts = np.array([t.ttft for t in timings])
+    queueing = np.array([t.queueing_delay for t in timings])
+    makespan = max(t.completion_time for t in timings) - min(
+        r.arrival_time for r in requests
+    )
+    busy = sum(max(res.ttft_service, res.gpu_time) + res.decode_time for res in results)
+    return RunSummary(
+        mean_ttft=float(ttfts.mean()),
+        p50_ttft=float(np.percentile(ttfts, 50)),
+        p90_ttft=float(np.percentile(ttfts, 90)),
+        p99_ttft=float(np.percentile(ttfts, 99)),
+        mean_queueing=float(queueing.mean()),
+        throughput=len(requests) / makespan if makespan > 0 else float("inf"),
+        gpu_utilisation=(
+            min(1.0, busy / (n_servers * makespan)) if makespan > 0 else 1.0
+        ),
+        makespan=makespan,
+    )
 
 
 @dataclass(frozen=True)
@@ -48,12 +93,19 @@ class SimulationResult:
 
 @dataclass
 class LoadSimulator:
-    """Poisson open-loop load generator plus FCFS service simulation."""
+    """Poisson open-loop load generator plus scheduled service simulation.
+
+    By default requests are placed by a :class:`FCFSScheduler`; any other
+    :class:`~repro.serving.scheduler.Scheduler` (e.g. the continuous-batching
+    one) can be injected via ``scheduler``, in which case its own
+    ``n_servers`` takes precedence.
+    """
 
     engine: InferenceEngine
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     n_servers: int = 1
     seed: int = 0
+    scheduler: Scheduler | None = None
 
     def generate_requests(self, request_rate: float, n_requests: int) -> list[GenerationRequest]:
         """Sample *n_requests* Poisson arrivals at *request_rate* per second."""
@@ -81,26 +133,20 @@ class LoadSimulator:
     def run(self, request_rate: float, n_requests: int = 200) -> SimulationResult:
         """Simulate *n_requests* arrivals at *request_rate* requests/second."""
         requests = self.generate_requests(request_rate, n_requests)
-        results = [self.engine.serve(request) for request in requests]
-        scheduler = FCFSScheduler(n_servers=self.n_servers)
+        results = self.engine.serve_batch(requests)
+        scheduler = self.scheduler or FCFSScheduler(n_servers=self.n_servers)
         timings = scheduler.schedule(requests, results)
-
-        ttfts = np.array([t.ttft for t in timings])
-        queueing = np.array([t.queueing_delay for t in timings])
-        makespan = max(t.completion_time for t in timings) - min(
-            r.arrival_time for r in requests
-        )
-        busy = sum(max(res.ttft_service, res.gpu_time) + res.decode_time for res in results)
+        summary = summarise_run(requests, results, timings, scheduler.n_servers)
         return SimulationResult(
             request_rate=request_rate,
             n_requests=n_requests,
-            mean_ttft=float(ttfts.mean()),
-            p50_ttft=float(np.percentile(ttfts, 50)),
-            p90_ttft=float(np.percentile(ttfts, 90)),
-            p99_ttft=float(np.percentile(ttfts, 99)),
-            mean_queueing=float(queueing.mean()),
-            throughput=n_requests / makespan if makespan > 0 else float("inf"),
-            gpu_utilisation=min(1.0, busy / (self.n_servers * makespan)) if makespan > 0 else 1.0,
+            mean_ttft=summary.mean_ttft,
+            p50_ttft=summary.p50_ttft,
+            p90_ttft=summary.p90_ttft,
+            p99_ttft=summary.p99_ttft,
+            mean_queueing=summary.mean_queueing,
+            throughput=summary.throughput,
+            gpu_utilisation=summary.gpu_utilisation,
             timings=timings,
         )
 

@@ -1,0 +1,80 @@
+"""KV deviation and attention deviation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.deviation import (
+    attention_deviation,
+    layer_rank_correlation,
+    token_kv_deviation,
+)
+from repro.model.tensors import LayerKV
+
+
+def _layer(keys: np.ndarray, values: np.ndarray) -> LayerKV:
+    return LayerKV(keys, values)
+
+
+class TestTokenKVDeviation:
+    def test_zero_for_identical_layers(self):
+        rng = np.random.default_rng(0)
+        keys = rng.normal(size=(5, 2, 4))
+        values = rng.normal(size=(5, 2, 4))
+        deviation = token_kv_deviation(_layer(keys, values), _layer(keys, values))
+        assert deviation.shape == (5,)
+        assert np.allclose(deviation, 0.0)
+
+    def test_known_value_single_token(self):
+        keys = np.zeros((1, 1, 4))
+        values = np.zeros((1, 1, 4))
+        ref_keys = np.zeros((1, 1, 4))
+        ref_keys[0, 0, 0] = 3.0
+        ref_values = np.zeros((1, 1, 4))
+        ref_values[0, 0, 1] = 4.0
+        deviation = token_kv_deviation(
+            _layer(keys, values), _layer(ref_keys, ref_values)
+        )
+        # L2 norm of key diff (3) plus L2 norm of value diff (4).
+        assert deviation[0] == pytest.approx(7.0)
+
+    def test_only_perturbed_token_deviates(self):
+        rng = np.random.default_rng(1)
+        keys = rng.normal(size=(6, 2, 4))
+        values = rng.normal(size=(6, 2, 4))
+        perturbed_keys = keys.copy()
+        perturbed_keys[3] += 1.0
+        deviation = token_kv_deviation(
+            _layer(perturbed_keys, values), _layer(keys, values)
+        )
+        assert deviation[3] > 0.0
+        mask = np.ones(6, dtype=bool)
+        mask[3] = False
+        assert np.allclose(deviation[mask], 0.0)
+
+    def test_shape_mismatch_raises(self):
+        a = _layer(np.zeros((3, 2, 4)), np.zeros((3, 2, 4)))
+        b = _layer(np.zeros((4, 2, 4)), np.zeros((4, 2, 4)))
+        with pytest.raises(ValueError):
+            token_kv_deviation(a, b)
+
+
+class TestAttentionDeviation:
+    def test_zero_for_identical_matrices(self):
+        a = np.random.default_rng(0).random((4, 10))
+        assert attention_deviation(a, a) == pytest.approx(0.0)
+
+    def test_normalised_by_reference_norm(self):
+        reference = np.eye(4)
+        attention = 2.0 * np.eye(4)
+        raw = attention_deviation(attention, reference, normalise=False)
+        normalised = attention_deviation(attention, reference, normalise=True)
+        assert raw == pytest.approx(2.0)
+        assert normalised == pytest.approx(1.0)
+
+    def test_rank_correlation_of_identical_rankings(self):
+        deviation = np.array([0.1, 3.0, 0.5, 2.0])
+        assert layer_rank_correlation(deviation, 2 * deviation) == pytest.approx(1.0)
+
+    def test_rank_correlation_of_reversed_rankings(self):
+        deviation = np.array([1.0, 2.0, 3.0, 4.0])
+        assert layer_rank_correlation(deviation, deviation[::-1]) == pytest.approx(-1.0)

@@ -1,0 +1,165 @@
+"""Experiment runner: sweep semantics, report schema and paper-level claims."""
+
+import json
+
+import pytest
+
+from repro.bench.experiment import (
+    QUALITY_SCORES,
+    ExperimentConfig,
+    ExperimentRunner,
+)
+from repro.bench.report import (
+    SCHEMA_VERSION,
+    report_to_dict,
+    save_report,
+    validate_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    config = ExperimentConfig(
+        models=("mistral-7b", "yi-34b"),
+        devices=("cpu_ram", "nvme_ssd"),
+        n_requests=40,
+        request_rate=0.8,
+        seed=0,
+    )
+    return ExperimentRunner(config).run()
+
+
+class TestSweepSemantics:
+    def test_one_cell_per_sweep_point(self, report):
+        config = report.config
+        expected = (
+            len(config.models)
+            * len(config.devices)
+            * len(config.schemes)
+            * len(config.recompute_ratios)
+        )
+        assert len(report.cells) == expected
+
+    def test_full_recompute_recomputes_everything(self, report):
+        for cell in report.cells:
+            if cell.scheme == "full_recompute":
+                assert cell.mean_recomputed_fraction == pytest.approx(1.0)
+
+    def test_cacheblend_recomputes_less_than_full(self, report):
+        """CacheBlend recomputes the ratio on cached chunks plus cold chunks
+        and the suffix in full — strictly less than full prefill, strictly
+        more than its nominal ratio whenever any chunk is cold."""
+        for cell in report.cells:
+            if cell.scheme == "cacheblend":
+                assert cell.recompute_ratio < cell.mean_recomputed_fraction < 1.0
+
+    def test_quality_adjustment_inflates_lossy_schemes(self, report):
+        for cell in report.cells:
+            expected = cell.mean_ttft / QUALITY_SCORES[cell.scheme]
+            assert cell.quality_adjusted_ttft == pytest.approx(expected)
+
+
+class TestPaperClaims:
+    def test_cacheblend_beats_baselines_on_every_model_device(self, report):
+        """The acceptance criterion: CacheBlend wins TTFT against full
+        recompute and quality-adjusted full reuse on 2 devices x 2 models."""
+        assert len(report.comparisons) == 4
+        for row in report.comparisons:
+            assert row["cacheblend_beats_full_recompute"], row
+            assert row["cacheblend_beats_full_reuse_quality_adjusted"], row
+            assert row["speedup_vs_full_recompute"] > 1.0
+
+
+class TestReportSchema:
+    def test_document_validates_and_roundtrips(self, report, tmp_path):
+        document = report_to_dict(report, tag="test")
+        validate_report(document)
+        assert document["schema_version"] == SCHEMA_VERSION
+        reloaded = json.loads(json.dumps(document))
+        validate_report(reloaded)
+
+    def test_save_report_writes_bench_json(self, report, tmp_path):
+        path = save_report(report, out_dir=tmp_path, tag="unit")
+        assert path.name.startswith("BENCH_unit_")
+        assert path.suffix == ".json"
+        validate_report(json.loads(path.read_text()))
+
+    def test_validation_rejects_missing_fields(self, report):
+        document = report_to_dict(report, tag="broken")
+        del document["cells"][0]["mean_ttft"]
+        with pytest.raises(ValueError):
+            validate_report(document)
+
+    def test_validation_rejects_empty_cells(self, report):
+        document = report_to_dict(report, tag="broken")
+        document["cells"] = []
+        with pytest.raises(ValueError):
+            validate_report(document)
+
+
+class TestMultiRatioSweep:
+    def test_baselines_replicated_across_ratios(self):
+        config = ExperimentConfig(
+            models=("mistral-7b",),
+            devices=("nvme_ssd",),
+            recompute_ratios=(0.05, 0.3),
+            n_requests=15,
+        )
+        report = ExperimentRunner(config).run()
+        assert len(report.cells) == len(config.schemes) * 2
+        # Ratio-independent schemes carry identical metrics on every ratio
+        # row (they are served once); cacheblend genuinely differs.
+        by_scheme: dict[str, list] = {}
+        for cell in report.cells:
+            by_scheme.setdefault(cell.scheme, []).append(cell)
+        a, b = by_scheme["full_recompute"]
+        assert a.mean_ttft == b.mean_ttft
+        blend_a, blend_b = by_scheme["cacheblend"]
+        assert blend_a.mean_ttft != blend_b.mean_ttft
+        # Every ratio still gets a complete comparison row.
+        assert len(report.comparisons) == 2
+        for row in report.comparisons:
+            assert "full_recompute_mean_ttft" in row
+            assert "full_reuse_quality_adjusted_ttft" in row
+
+
+class TestCLIConfig:
+    def test_smoke_overrides_only_size_options(self):
+        from repro.bench.__main__ import build_parser, config_from_args
+
+        args = build_parser().parse_args(
+            ["--smoke", "--dataset", "samsum", "--zipf-alpha", "2.0"]
+        )
+        config = config_from_args(args)
+        smoke = ExperimentConfig.smoke()
+        assert config.n_requests == smoke.n_requests
+        assert config.request_rate == smoke.request_rate
+        assert config.dataset == "samsum"
+        assert config.zipf_alpha == 2.0
+
+    def test_explicit_options_reach_the_config(self):
+        from repro.bench.__main__ import build_parser, config_from_args
+
+        args = build_parser().parse_args(
+            ["--models", "llama-70b", "--schemes", "cacheblend", "--ratios", "0.2"]
+        )
+        config = config_from_args(args)
+        assert config.models == ("llama-70b",)
+        assert config.schemes == ("cacheblend",)
+        assert config.recompute_ratios == (0.2,)
+
+
+class TestConfigValidation:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(schemes=("warp_drive",))
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(scheduler="psychic")
+
+    def test_smoke_config_is_small(self):
+        config = ExperimentConfig.smoke()
+        assert config.n_requests <= 100
+        assert len(config.models) == 2
+        assert len(config.devices) == 2

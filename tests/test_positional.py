@@ -1,0 +1,73 @@
+"""Positional re-alignment of chunk KV caches (RoPE shift)."""
+
+import numpy as np
+import pytest
+
+from repro.core.positional import concat_chunk_caches, realign_chunk_cache
+from repro.model.config import get_config
+from repro.model.transformer import TransformerModel
+
+
+@pytest.fixture(scope="module")
+def model() -> TransformerModel:
+    return TransformerModel(get_config("tiny"), seed=0)
+
+
+@pytest.fixture(scope="module")
+def chunk_cache(model):
+    token_ids = np.arange(10, 22, dtype=np.int64)
+    return model.chunk_prefill(token_ids, start_position=0)
+
+
+class TestRealignChunkCache:
+    def test_same_start_is_identity(self, chunk_cache):
+        realigned = realign_chunk_cache(chunk_cache, 0)
+        for layer, ref in zip(realigned.layers, chunk_cache.layers):
+            assert np.allclose(layer.keys, ref.keys)
+            assert np.allclose(layer.values, ref.values)
+
+    def test_positions_updated_and_values_untouched(self, chunk_cache):
+        realigned = realign_chunk_cache(chunk_cache, 7)
+        assert realigned.positions.tolist() == list(range(7, 7 + chunk_cache.n_tokens))
+        for layer, ref in zip(realigned.layers, chunk_cache.layers):
+            assert np.allclose(layer.values, ref.values)
+            assert not np.allclose(layer.keys, ref.keys)
+
+    def test_matches_direct_prefill_at_offset(self, model, chunk_cache):
+        """Realigned keys equal the keys of prefilling at the new offset.
+
+        The paper's Appendix A argument: rotating stored keys by the position
+        delta is an exact correction, because only the key projection input
+        (not the rotation) depends on absolute position.
+        """
+        offset = 5
+        direct = model.chunk_prefill(chunk_cache.token_ids, start_position=offset)
+        realigned = realign_chunk_cache(
+            chunk_cache, offset, model.config.rope_theta
+        )
+        for layer, ref in zip(realigned.layers, direct.layers):
+            assert np.allclose(layer.keys, ref.keys, atol=1e-10)
+
+    def test_realignment_composes(self, chunk_cache, model):
+        theta = model.config.rope_theta
+        via_two_steps = realign_chunk_cache(
+            realign_chunk_cache(chunk_cache, 3, theta), 9, theta
+        )
+        direct = realign_chunk_cache(chunk_cache, 9, theta)
+        for layer, ref in zip(via_two_steps.layers, direct.layers):
+            assert np.allclose(layer.keys, ref.keys, atol=1e-10)
+
+    def test_empty_cache_rejected(self, model):
+        from repro.model.tensors import KVCache
+
+        with pytest.raises(ValueError):
+            realign_chunk_cache(KVCache([]), 0)
+
+
+class TestConcatChunkCaches:
+    def test_concatenation_is_contiguous(self, model):
+        a = model.chunk_prefill(np.arange(5, dtype=np.int64))
+        b = model.chunk_prefill(np.arange(7, dtype=np.int64))
+        combined = concat_chunk_caches([a, b], model.config.rope_theta)
+        assert combined.n_tokens == 12
+        assert combined.positions.tolist() == list(range(12))

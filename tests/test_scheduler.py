@@ -1,0 +1,133 @@
+"""FCFS vs continuous batching: shared invariants and batching behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.kvstore.device import get_device
+from repro.model.config import get_config
+from repro.serving.costmodel import ServingCostModel
+from repro.serving.engine import InferenceEngine
+from repro.serving.request import GenerationRequest
+from repro.serving.scheduler import (
+    ContinuousBatchingScheduler,
+    FCFSScheduler,
+    Scheduler,
+)
+from repro.serving.simulator import LoadSimulator, WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def engine() -> InferenceEngine:
+    cost_model = ServingCostModel(get_config("mistral-7b"))
+    return InferenceEngine(
+        cost_model, scheme="cacheblend", device=get_device("nvme_ssd")
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(engine):
+    simulator = LoadSimulator(engine, WorkloadSpec(n_output_tokens=64), seed=7)
+    requests = simulator.generate_requests(2.0, 60)
+    results = engine.serve_batch(requests)
+    return requests, results
+
+
+SCHEDULERS = [
+    FCFSScheduler(n_servers=2),
+    ContinuousBatchingScheduler(n_servers=2),
+]
+
+
+class TestSharedInvariants:
+    @pytest.mark.parametrize("scheduler", SCHEDULERS, ids=lambda s: type(s).__name__)
+    def test_no_request_starts_before_arrival(self, scheduler, workload):
+        requests, results = workload
+        timings = scheduler.schedule(requests, results)
+        assert all(t.start_time >= t.arrival_time - 1e-12 for t in timings)
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS, ids=lambda s: type(s).__name__)
+    def test_lifecycle_ordering(self, scheduler, workload):
+        requests, results = workload
+        timings = scheduler.schedule(requests, results)
+        for timing in timings:
+            assert timing.first_token_time >= timing.start_time
+            assert timing.completion_time >= timing.first_token_time - 1e-9
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS, ids=lambda s: type(s).__name__)
+    def test_output_aligned_with_input_order(self, scheduler, workload):
+        requests, results = workload
+        timings = scheduler.schedule(requests, results)
+        assert [t.request_id for t in timings] == [r.request_id for r in requests]
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS, ids=lambda s: type(s).__name__)
+    def test_satisfies_scheduler_protocol(self, scheduler):
+        assert isinstance(scheduler, Scheduler)
+
+    @pytest.mark.parametrize("scheduler_cls", [FCFSScheduler, ContinuousBatchingScheduler])
+    def test_length_mismatch_rejected(self, scheduler_cls, workload):
+        requests, results = workload
+        with pytest.raises(ValueError):
+            scheduler_cls().schedule(requests, results[:-1])
+
+
+class TestThroughputScaling:
+    @pytest.mark.parametrize("scheduler_cls", [FCFSScheduler, ContinuousBatchingScheduler])
+    def test_throughput_monotone_in_n_servers(self, scheduler_cls, workload):
+        requests, results = workload
+        makespans = []
+        for n_servers in (1, 2, 4):
+            timings = scheduler_cls(n_servers=n_servers).schedule(requests, results)
+            makespans.append(max(t.completion_time for t in timings))
+        assert makespans[0] >= makespans[1] - 1e-9
+        assert makespans[1] >= makespans[2] - 1e-9
+
+
+class TestContinuousBatching:
+    def test_decode_interleaving_beats_fcfs_ttft(self, workload):
+        """With long decodes, iteration-level admission cuts queueing TTFT."""
+        requests, results = workload
+        fcfs = FCFSScheduler(n_servers=2).schedule(requests, results)
+        batched = ContinuousBatchingScheduler(n_servers=2).schedule(requests, results)
+        assert np.mean([t.ttft for t in batched]) < np.mean([t.ttft for t in fcfs])
+
+    def test_token_budget_serialises_admission(self):
+        """A budget of one request's tokens degenerates to one-at-a-time."""
+        requests = [
+            GenerationRequest(request_id=i, n_chunks=2, chunk_tokens=512, arrival_time=0.0)
+            for i in range(3)
+        ]
+        cost_model = ServingCostModel(get_config("mistral-7b"))
+        engine = InferenceEngine(
+            cost_model, scheme="cacheblend", device=get_device("nvme_ssd")
+        )
+        results = engine.serve_batch(requests)
+        tight = ContinuousBatchingScheduler(
+            n_servers=1, max_batch_tokens=requests[0].n_total_tokens
+        ).schedule(requests, results)
+        # Requests run back to back: each starts when the previous completes.
+        by_start = sorted(tight, key=lambda t: t.start_time)
+        for earlier, later in zip(by_start, by_start[1:]):
+            assert later.start_time >= earlier.completion_time - 1e-9
+
+    def test_oversized_request_still_admitted(self):
+        request = GenerationRequest(request_id=0, n_chunks=8, chunk_tokens=1024)
+        cost_model = ServingCostModel(get_config("mistral-7b"))
+        engine = InferenceEngine(
+            cost_model, scheme="cacheblend", device=get_device("nvme_ssd")
+        )
+        results = engine.serve_batch([request])
+        timings = ContinuousBatchingScheduler(
+            n_servers=1, max_batch_tokens=256
+        ).schedule([request], results)
+        assert timings[0].completion_time > 0.0
+
+    def test_simulator_accepts_injected_scheduler(self, engine):
+        simulator = LoadSimulator(
+            engine,
+            WorkloadSpec(n_output_tokens=64),
+            scheduler=ContinuousBatchingScheduler(n_servers=2),
+            seed=7,
+        )
+        result = simulator.run(2.0, n_requests=40)
+        assert result.mean_ttft > 0.0
+        assert result.throughput > 0.0

@@ -1,0 +1,85 @@
+"""Workload generator: distributions, determinism and reuse accounting."""
+
+import numpy as np
+import pytest
+
+from repro.bench.workload import DATASET_PRESETS, WorkloadGenerator, get_dataset
+
+
+class TestRequestShape:
+    def test_chunk_counts_within_dataset_bounds(self):
+        spec = get_dataset("2wikimqa")
+        generator = WorkloadGenerator(dataset="2wikimqa", seed=0)
+        for request in generator.generate(100):
+            assert spec.min_chunks <= request.n_chunks <= spec.max_chunks
+
+    def test_chunk_tokens_track_dataset_mean(self):
+        spec = get_dataset("multinews")
+        generator = WorkloadGenerator(dataset="multinews", seed=1)
+        requests = generator.generate(300)
+        mean_tokens = np.mean([r.chunk_tokens for r in requests])
+        assert abs(mean_tokens - spec.chunk_tokens_mean) < 3 * spec.chunk_tokens_std
+
+    def test_cached_fractions_within_unit_interval(self):
+        generator = WorkloadGenerator(seed=2)
+        for request in generator.generate(100):
+            assert 0.0 <= request.cached_chunk_fraction <= 1.0
+            assert 0.0 <= request.prefix_cached_fraction <= request.cached_chunk_fraction
+
+
+class TestArrivals:
+    def test_arrivals_strictly_increasing(self):
+        generator = WorkloadGenerator(request_rate=2.0, seed=3)
+        arrivals = [r.arrival_time for r in generator.generate(200)]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_mean_rate_matches_configuration(self):
+        rate = 4.0
+        generator = WorkloadGenerator(request_rate=rate, seed=4)
+        requests = generator.generate(2000)
+        empirical = len(requests) / requests[-1].arrival_time
+        assert empirical == pytest.approx(rate, rel=0.15)
+
+
+class TestDeterminismAndReuse:
+    def test_same_seed_same_stream(self):
+        a = WorkloadGenerator(seed=5).generate(50)
+        b = WorkloadGenerator(seed=5).generate(50)
+        assert [(r.n_chunks, r.chunk_tokens, r.arrival_time) for r in a] == [
+            (r.n_chunks, r.chunk_tokens, r.arrival_time) for r in b
+        ]
+
+    def test_different_seed_differs(self):
+        a = WorkloadGenerator(seed=6).generate(50)
+        b = WorkloadGenerator(seed=7).generate(50)
+        assert [r.arrival_time for r in a] != [r.arrival_time for r in b]
+
+    def test_popularity_skew_raises_hit_rate(self):
+        uniform = WorkloadGenerator(zipf_alpha=0.0, seed=8)
+        uniform.generate(300)
+        skewed = WorkloadGenerator(zipf_alpha=1.5, seed=8)
+        skewed.generate(300)
+        assert skewed.stats.chunk_hit_rate > uniform.stats.chunk_hit_rate
+
+    def test_stats_are_consistent(self):
+        generator = WorkloadGenerator(seed=9)
+        requests = generator.generate(120)
+        stats = generator.stats
+        assert stats.n_requests == 120
+        assert stats.n_chunk_accesses == sum(r.n_chunks for r in requests)
+        assert stats.mean_cached_chunk_fraction == pytest.approx(
+            np.mean([r.cached_chunk_fraction for r in requests])
+        )
+        document = stats.as_dict()
+        assert document["cache"]["hits"] + document["cache"]["misses"] == (
+            stats.n_chunk_accesses
+        )
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            WorkloadGenerator(dataset="nope")
+
+    def test_all_presets_generate(self):
+        for name in DATASET_PRESETS:
+            requests = WorkloadGenerator(dataset=name, seed=0).generate(10)
+            assert len(requests) == 10
