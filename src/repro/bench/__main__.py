@@ -3,12 +3,20 @@
 Runs a scheme × model × device × recompute-ratio sweep over a synthesized
 RAG workload and writes a ``BENCH_*.json`` report.  ``--smoke`` selects the
 small configuration CI runs on every push (finishes in seconds).
+
+``--profile`` instead runs the profiled perf harness (hot-path op timings +
+measured pipelined-vs-sequential fuse speedup) and writes a
+``BENCH_profile_*.json``; ``--check-baseline`` turns it into the CI
+regression gate.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
+from pathlib import Path
 
 from repro.bench.experiment import SCHEDULERS, ExperimentConfig, ExperimentRunner
 from repro.bench.report import format_summary, report_to_dict, save_report
@@ -27,6 +35,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="run the small CI-sized sweep (overrides size-related options)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the profiled perf harness instead of the scheme sweep "
+        "(writes BENCH_profile_*.json)",
+    )
+    parser.add_argument(
+        "--check-baseline", default=None, metavar="PATH",
+        help="with --profile: fail (exit 1) if fuse wall-clock regresses >2x "
+        "against this baseline profile JSON",
     )
     parser.add_argument(
         "--models", nargs="+", default=None, metavar="MODEL",
@@ -88,8 +107,38 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
+def run_profile_command(args: argparse.Namespace) -> int:
+    from repro.bench.profile import (
+        ProfileConfig,
+        check_against_baseline,
+        format_profile_summary,
+        run_profile,
+        save_profile_report,
+    )
+
+    base = ProfileConfig.smoke() if args.smoke else ProfileConfig()
+    config = dataclasses.replace(base, seed=args.seed)
+    document = run_profile(config)
+    tag = args.tag if args.tag is not None else ("smoke" if args.smoke else "")
+    out_path = save_profile_report(document, out_dir=args.out_dir, tag=tag)
+    print(format_profile_summary(document))
+    print(f"\nwrote {out_path}")
+    if args.check_baseline:
+        baseline = json.loads(Path(args.check_baseline).read_text())
+        failures = check_against_baseline(document, baseline)
+        if failures:
+            print("perf regression vs baseline:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"baseline check passed ({args.check_baseline})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.profile:
+        return run_profile_command(args)
     config = config_from_args(args)
     runner = ExperimentRunner(config)
     report = runner.run(with_proxy=args.with_proxy or args.smoke)

@@ -291,8 +291,12 @@ def run_proxy_probe(seed: int = 0) -> dict[str, object]:
     Serves two requests over a shared chunk set through
     :meth:`~repro.core.blend_engine.BlendEngine.run_batch` and reports the
     measured per-layer recompute fraction and KV-store hit accounting.  It
-    grounds the analytical sweep in the actual CacheBlend numerics.
+    grounds the analytical sweep in the actual CacheBlend numerics, and runs
+    the same fusion through the :class:`~repro.core.executor.
+    PipelinedExecutor` with ``pipelined`` on and off to attach a *measured*
+    (wall-clock, not modeled) pipeline speedup.
     """
+    from repro.bench.profile import measure_pipeline_speedup
     from repro.core.blend_engine import BlendEngine
 
     engine = BlendEngine.build(paper_model="Mistral-7B", device="cpu_ram", seed=seed)
@@ -308,6 +312,23 @@ def run_proxy_probe(seed: int = 0) -> dict[str, object]:
         (chunks[1:], "where are kv caches stored?"),
     ]
     results = engine.run_batch(batch)
+
+    # Measured load/compute pipelining: the text chunks above are only a few
+    # tokens (per-layer compute well under the sleep/thread granularity), so
+    # the executor is measured on profile-sized synthetic chunk caches, with
+    # the shared calibrate-then-compare methodology of repro.bench.profile.
+    rng = np.random.default_rng(seed)
+    chunk_caches = [
+        engine.model.chunk_prefill(
+            rng.integers(4, engine.model.config.vocab_size, size=96).astype(np.int64)
+        )
+        for _ in range(2)
+    ]
+    suffix_ids = rng.integers(4, engine.model.config.vocab_size, size=12).astype(np.int64)
+    measurement = measure_pipeline_speedup(
+        engine.model, engine.fusor.config, chunk_caches, suffix_ids, repeats=2
+    )
+
     return {
         "paper_model": "Mistral-7B",
         "n_requests": len(results),
@@ -317,4 +338,5 @@ def run_proxy_probe(seed: int = 0) -> dict[str, object]:
         "recompute_ratios_decided": [r.decision.recompute_ratio for r in results],
         "estimated_ttfts": [r.ttft for r in results],
         "cache": engine.cache_stats,
+        "executor": measurement.as_dict(),
     }

@@ -1,0 +1,336 @@
+"""Profiled perf harness (``python -m repro.bench --profile``).
+
+Times the hot-path primitives on a fixed, seeded workload — chunk prefill,
+sequential vs pipelined fuse (through the *executing*
+:class:`~repro.core.executor.PipelinedExecutor`, not the analytical model),
+KV serialize/deserialize — and writes a ``BENCH_profile_*.json`` so every PR
+has a perf trajectory to regress against.
+
+The pipelined/sequential comparison is run at the calibrated load≈compute
+operating point: a zero-delay sequential pass measures the mean per-layer
+compute, and the simulated per-layer device transfer is pinned to it.  That
+is the crossover §5 of the paper targets — where loading can fully hide the
+selective recompute — and it is where pipelining's measured speedup is
+meaningful rather than an artifact of one side dominating.
+
+:func:`check_against_baseline` is the CI regression gate: it fails when fuse
+wall-clock regresses more than ``max_regression``× against a checked-in
+baseline document (see ``benchmarks/profile_baseline.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.core.executor import ExecutionResult, PipelinedExecutor
+from repro.core.fusor import FusorConfig, KVFusor
+from repro.kvstore.serialization import deserialize_kv, serialize_kv
+from repro.model.config import get_config
+from repro.model.transformer import TransformerModel
+
+PROFILE_SCHEMA_VERSION = 1
+
+_REQUIRED_OPS = (
+    "chunk_prefill",
+    "fuse_sequential",
+    "fuse_pipelined",
+    "serialize_kv",
+    "deserialize_kv",
+)
+
+
+@dataclass(frozen=True)
+class ProfileConfig:
+    """The fixed workload the profile harness times."""
+
+    model: str = "small"
+    n_chunks: int = 3
+    chunk_tokens: int = 128
+    suffix_tokens: int = 16
+    recompute_ratio: float = 0.15
+    repeats: int = 3
+    warmup: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_chunks < 1 or self.chunk_tokens < 1 or self.suffix_tokens < 1:
+            raise ValueError("workload sizes must be positive")
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+
+    @classmethod
+    def smoke(cls) -> "ProfileConfig":
+        """CI-sized profile (seconds, not minutes)."""
+        return cls(chunk_tokens=64, repeats=2, warmup=1)
+
+
+def _stats(samples: list[float]) -> dict[str, float | int]:
+    return {
+        "mean_s": float(np.mean(samples)),
+        "min_s": float(np.min(samples)),
+        "max_s": float(np.max(samples)),
+        "repeats": len(samples),
+    }
+
+
+def _time_op(fn: Callable[[], object], repeats: int, warmup: int) -> dict[str, float | int]:
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return _stats(samples)
+
+
+@dataclass
+class PipelineMeasurement:
+    """Measured sequential-vs-pipelined executor runs at one operating point."""
+
+    layer_load_time: float
+    sequential_runs: list[ExecutionResult]
+    pipelined_runs: list[ExecutionResult]
+
+    @property
+    def best_sequential(self) -> ExecutionResult:
+        return min(self.sequential_runs, key=lambda r: r.total_time)
+
+    @property
+    def best_pipelined(self) -> ExecutionResult:
+        return min(self.pipelined_runs, key=lambda r: r.total_time)
+
+    @property
+    def speedup(self) -> float:
+        pipelined = self.best_pipelined.total_time
+        if pipelined <= 0:
+            return float("inf")
+        return self.best_sequential.total_time / pipelined
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-friendly block for bench/profile reports."""
+        return {
+            "layer_load_time_s": self.layer_load_time,
+            "sequential_total_s": self.best_sequential.total_time,
+            "pipelined_total_s": self.best_pipelined.total_time,
+            "measured_speedup": self.speedup,
+            "pipelined_stall_s": self.best_pipelined.stall_time,
+        }
+
+
+def measure_pipeline_speedup(
+    model,
+    fusor_config: FusorConfig,
+    chunk_caches,
+    suffix_ids,
+    repeats: int = 2,
+    recompute_ratio: float | None = None,
+) -> PipelineMeasurement:
+    """Calibrate load≈compute and run both executor schedules *repeats* times.
+
+    A zero-delay sequential pass measures the per-layer compute; the
+    simulated per-layer device transfer is pinned to the mean compute of the
+    *selective* layers (layer 0's full recompute is excluded — including it
+    would push loads past compute and inflate the speedup with hidden sleep
+    time), i.e. the §5 crossover where loading can just hide the selective
+    recompute.  Sequential and pipelined schedules then run
+    best-of-*repeats*.  This is the single definition of the
+    measured-speedup methodology, shared by the profile harness and the sweep
+    runner's proxy probe.
+    """
+    probe = PipelinedExecutor(model, fusor_config, layer_load_time=0.0)
+    calibration = probe.execute(
+        chunk_caches, suffix_ids, recompute_ratio=recompute_ratio, pipelined=False
+    )
+    selective = calibration.compute_times[1:]
+    layer_load_time = float(
+        selective.mean() if selective.size else calibration.compute_times.mean()
+    )
+    executor = PipelinedExecutor(model, fusor_config, layer_load_time=layer_load_time)
+
+    def runs(pipelined: bool) -> list[ExecutionResult]:
+        return [
+            executor.execute(
+                chunk_caches,
+                suffix_ids,
+                recompute_ratio=recompute_ratio,
+                pipelined=pipelined,
+            )
+            for _ in range(repeats)
+        ]
+
+    return PipelineMeasurement(
+        layer_load_time=layer_load_time,
+        sequential_runs=runs(pipelined=False),
+        pipelined_runs=runs(pipelined=True),
+    )
+
+
+def run_profile(config: ProfileConfig | None = None) -> dict[str, object]:
+    """Run the profile workload and return the report document."""
+    config = config or ProfileConfig()
+    model = TransformerModel(get_config(config.model), seed=config.seed)
+    rng = np.random.default_rng(config.seed)
+    low = 4  # skip the reserved special-token ids
+    chunk_ids = [
+        rng.integers(low, model.config.vocab_size, size=config.chunk_tokens).astype(np.int64)
+        for _ in range(config.n_chunks)
+    ]
+    suffix_ids = rng.integers(low, model.config.vocab_size, size=config.suffix_tokens).astype(
+        np.int64
+    )
+    chunk_caches = [model.chunk_prefill(ids) for ids in chunk_ids]
+    fusor_config = FusorConfig(recompute_ratio=config.recompute_ratio)
+    fusor = KVFusor(model, fusor_config)
+    fused = fusor.fuse(chunk_caches, suffix_ids)
+    payload = serialize_kv(fused.kv_cache)
+
+    ops: dict[str, dict[str, float | int]] = {}
+    ops["chunk_prefill"] = _time_op(
+        lambda: model.chunk_prefill(chunk_ids[0]), config.repeats, config.warmup
+    )
+    ops["serialize_kv"] = _time_op(
+        lambda: serialize_kv(fused.kv_cache), config.repeats, config.warmup
+    )
+    ops["deserialize_kv"] = _time_op(
+        lambda: deserialize_kv(payload), config.repeats, config.warmup
+    )
+
+    # ---- calibrated pipelined-vs-sequential comparison -------------------
+    measurement = measure_pipeline_speedup(
+        model,
+        fusor_config,
+        chunk_caches,
+        suffix_ids,
+        repeats=config.repeats,
+        recompute_ratio=config.recompute_ratio,
+    )
+    ops["fuse_sequential"] = _stats([r.total_time for r in measurement.sequential_runs])
+    ops["fuse_pipelined"] = _stats([r.total_time for r in measurement.pipelined_runs])
+
+    return {
+        "schema_version": PROFILE_SCHEMA_VERSION,
+        "kind": "profile",
+        "created": datetime.now(timezone.utc).isoformat(),
+        "config": asdict(config),
+        "ops": ops,
+        "pipeline": {
+            "n_layers": model.config.n_layers,
+            "n_tokens": int(fused.n_tokens),
+            "mean_compute_per_layer_s": measurement.layer_load_time,
+            **measurement.as_dict(),
+            "mean_recompute_fraction": float(
+                measurement.best_pipelined.fusion.mean_recompute_fraction
+            ),
+        },
+        "environment": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Validation, persistence, regression gate
+# ----------------------------------------------------------------------
+def validate_profile_report(document: dict[str, object]) -> None:
+    """Raise ``ValueError`` when *document* does not match the profile schema."""
+    for key in ("schema_version", "kind", "created", "config", "ops", "pipeline"):
+        if key not in document:
+            raise ValueError(f"profile report is missing top-level key {key!r}")
+    if document["kind"] != "profile":
+        raise ValueError(f"unexpected report kind {document['kind']!r}")
+    if document["schema_version"] != PROFILE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported profile schema_version {document['schema_version']!r}"
+        )
+    ops = document["ops"]
+    for op in _REQUIRED_OPS:
+        if op not in ops:
+            raise ValueError(f"profile report is missing op {op!r}")
+        for metric in ("mean_s", "min_s", "max_s"):
+            if ops[op][metric] < 0:
+                raise ValueError(f"op {op!r} has a negative {metric}")
+    pipeline = document["pipeline"]
+    if pipeline["measured_speedup"] <= 0:
+        raise ValueError("measured_speedup must be positive")
+
+
+def profile_filename(tag: str = "") -> str:
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+    middle = f"{tag}_" if tag else ""
+    return f"BENCH_profile_{middle}{stamp}.json"
+
+
+def save_profile_report(
+    document: dict[str, object], out_dir: str | Path = ".", tag: str = ""
+) -> Path:
+    """Validate and write the profile report; returns the written path."""
+    validate_profile_report(document)
+    out_path = Path(out_dir) / profile_filename(tag)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return out_path
+
+
+def check_against_baseline(
+    document: dict[str, object],
+    baseline: dict[str, object],
+    max_regression: float = 2.0,
+    ops: tuple[str, ...] = ("fuse_sequential", "fuse_pipelined"),
+) -> list[str]:
+    """Compare *document* against a checked-in *baseline*; returns failures.
+
+    An op fails when its best (min) wall-clock exceeds ``max_regression``
+    times the baseline's.  Minimums are compared so scheduler noise on shared
+    CI runners doesn't trip the gate; ``max_regression`` absorbs hardware
+    differences between the baseline machine and the runner.
+    """
+    failures: list[str] = []
+    base_ops = baseline.get("ops", {})
+    for op in ops:
+        if op not in base_ops:
+            continue
+        base = float(base_ops[op]["min_s"])
+        current = float(document["ops"][op]["min_s"])
+        if base > 0 and current > base * max_regression:
+            failures.append(
+                f"{op}: {current * 1e3:.2f} ms vs baseline {base * 1e3:.2f} ms "
+                f"(> {max_regression:.1f}x)"
+            )
+    return failures
+
+
+def format_profile_summary(document: dict[str, object]) -> str:
+    """Human-readable profile table, for CLI output."""
+    cfg = document["config"]
+    pipe = document["pipeline"]
+    lines = [
+        f"profile report (model={cfg['model']}, "
+        f"{cfg['n_chunks']}x{cfg['chunk_tokens']} chunk tokens + "
+        f"{cfg['suffix_tokens']} suffix, ratio={cfg['recompute_ratio']})",
+        f"{'op':<18} {'mean':>10} {'min':>10} {'max':>10}",
+    ]
+    for op, stats in document["ops"].items():
+        lines.append(
+            f"{op:<18} {stats['mean_s'] * 1e3:>8.2f}ms {stats['min_s'] * 1e3:>8.2f}ms "
+            f"{stats['max_s'] * 1e3:>8.2f}ms"
+        )
+    lines.append(
+        f"pipelined vs sequential fuse: {pipe['measured_speedup']:.2f}x "
+        f"(seq {pipe['sequential_total_s'] * 1e3:.1f} ms, "
+        f"pipe {pipe['pipelined_total_s'] * 1e3:.1f} ms, "
+        f"stall {pipe['pipelined_stall_s'] * 1e3:.1f} ms, "
+        f"load/layer {pipe['layer_load_time_s'] * 1e3:.2f} ms)"
+    )
+    return "\n".join(lines)

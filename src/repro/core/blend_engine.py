@@ -16,6 +16,7 @@ Typical use::
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -48,6 +49,45 @@ class BlendResult:
         return self.n_context_tokens + self.n_suffix_tokens
 
 
+class _EncodingCache:
+    """Small LRU memoizing tokenizer encodings per chunk/question text.
+
+    Cache-hit requests repeat the same chunk texts, so re-encoding them on
+    every request is pure O(chunk) overhead; the entries are tiny (one int64
+    array per distinct text).  Arrays are returned read-only so a hit can be
+    shared across requests without defensive copies.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[str, np.ndarray] = OrderedDict()
+
+    def get(self, text: str) -> np.ndarray | None:
+        ids = self._entries.get(text)
+        if ids is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(text)
+        return ids
+
+    def put(self, text: str, ids: np.ndarray) -> None:
+        ids = np.asarray(ids, dtype=np.int64)
+        ids.setflags(write=False)
+        self._entries[text] = ids
+        self._entries.move_to_end(text)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
 class BlendEngine:
     """End-to-end CacheBlend engine over a chunk store and a proxy model."""
 
@@ -59,6 +99,7 @@ class BlendEngine:
         controller: LoadingController,
         fusor_config: FusorConfig | None = None,
         timing_model: ModelConfig | None = None,
+        encoding_cache_size: int = 1024,
     ) -> None:
         self.model = model
         self.tokenizer = tokenizer
@@ -67,6 +108,22 @@ class BlendEngine:
         self.fusor = KVFusor(model, fusor_config or FusorConfig())
         #: Architecture used for the TTFT estimates (defaults to the proxy).
         self.timing_model = timing_model or model.config
+        self._encodings = _EncodingCache(capacity=encoding_cache_size)
+
+    # ------------------------------------------------------------------
+    # Tokenization (memoized)
+    # ------------------------------------------------------------------
+    def encode(self, text: str) -> np.ndarray:
+        """Tokenize *text*, memoizing the encoding per distinct string.
+
+        Returns a read-only int64 array shared across requests; copy before
+        mutating.
+        """
+        ids = self._encodings.get(text)
+        if ids is None:
+            ids = np.asarray(self.tokenizer.encode(text), dtype=np.int64)
+            self._encodings.put(text, ids)
+        return ids
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -128,7 +185,7 @@ class BlendEngine:
 
     def precompute_chunk(self, text: str) -> str:
         """Tokenize, prefill and store one chunk; returns its cache key."""
-        token_ids = np.asarray(self.tokenizer.encode(text), dtype=np.int64)
+        token_ids = self.encode(text)
         if token_ids.size == 0:
             raise ValueError("cannot precompute an empty chunk")
         key = self.chunk_cache_key(token_ids)
@@ -170,7 +227,7 @@ class BlendEngine:
         miss_tokens = 0
         context_tokens = 0
         for text in chunk_texts:
-            token_ids = np.asarray(self.tokenizer.encode(text), dtype=np.int64)
+            token_ids = self.encode(text)
             context_tokens += int(token_ids.size)
             key = self.chunk_cache_key(token_ids)
             cached = self.kv_store.get(key)
@@ -183,7 +240,7 @@ class BlendEngine:
                 hits += 1
             chunk_caches.append(cached)
 
-        suffix_ids = np.asarray(self.tokenizer.encode(question), dtype=np.int64)
+        suffix_ids = self.encode(question)
 
         decision = self.controller.decide(
             n_context_tokens=context_tokens,
@@ -247,12 +304,16 @@ class BlendEngine:
 
     @property
     def cache_stats(self) -> dict[str, float]:
-        """JSON-friendly snapshot of the KV store's hit/miss counters."""
-        return self.kv_store.stats.as_dict()
+        """JSON-friendly snapshot of the KV store's and tokenizer's counters."""
+        stats = self.kv_store.stats.as_dict()
+        stats["tokenizer_hits"] = self._encodings.hits
+        stats["tokenizer_misses"] = self._encodings.misses
+        return stats
 
     def reset_cache_stats(self) -> None:
-        """Zero the KV store counters (e.g. between experiment cells)."""
+        """Zero the KV store and tokenizer counters (e.g. between cells)."""
         self.kv_store.stats.reset()
+        self._encodings.reset_stats()
 
     # ------------------------------------------------------------------
     def _estimate_ttft(

@@ -1,0 +1,271 @@
+"""Executed layer-wise pipelining of KV loading and selective recompute.
+
+:mod:`repro.core.pipeline` *models* the paper's §5 schedule analytically; this
+module actually **runs** it.  A :class:`PipelinedExecutor` drives
+:meth:`KVFusor.fuse_layers` while a background loader thread streams each
+layer's serialized KV off a (simulated) storage device:
+
+* every layer's reused KV exists as raw fp16 bytes (the store format of
+  :mod:`repro.kvstore.serialization`); *loading* a layer means sleeping for
+  the device's transfer delay, then decoding (``np.frombuffer``), RoPE
+  re-aligning and padding the chunk entries — real work, on a real thread;
+* the fusor's compute for layer ``i`` blocks until layer ``i``'s load has
+  finished, exactly the two-thread double buffer the paper describes in §6;
+* every load and compute span is measured with ``time.perf_counter`` and
+  reported as a :class:`~repro.core.pipeline.PipelineTrace` — the same type
+  the analytical model emits, but with *measured* timestamps.
+
+``pipelined=False`` runs the identical code path without the background
+thread (each layer is loaded synchronously right before its compute), which
+is the sequential baseline the measured speedup is reported against.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fusor import (
+    FusionLayout,
+    FusionResult,
+    FusorConfig,
+    KVFusor,
+    LayerProvider,
+    place_chunk_layer,
+)
+from repro.core.pipeline import PipelineTrace
+from repro.kvstore.device import StorageDevice, get_device
+from repro.kvstore.serialization import pack_layer_kv, unpack_layer_kv
+from repro.model.tensors import KVCache, LayerKV
+from repro.model.transformer import TransformerModel
+
+
+@dataclass
+class ExecutionResult:
+    """One executed (not modeled) fusion pass plus its measured schedule."""
+
+    fusion: FusionResult
+    trace: PipelineTrace
+    pipelined: bool
+    #: Simulated device transfer delay injected per layer (seconds).
+    simulated_load_delay: float
+
+    @property
+    def load_times(self) -> np.ndarray:
+        """Measured per-layer load durations (transfer + decode + re-align)."""
+        return self.trace.load_end - self.trace.load_start
+
+    @property
+    def compute_times(self) -> np.ndarray:
+        """Measured per-layer selective-recompute durations."""
+        return self.trace.compute_end - self.trace.compute_start
+
+    @property
+    def total_time(self) -> float:
+        """Measured wall-clock of the whole fuse (seconds)."""
+        return self.trace.total_time
+
+    @property
+    def stall_time(self) -> float:
+        """Measured time compute spent waiting on loads (incl. the first load)."""
+        return self.trace.stall_time
+
+
+class _SpanRecorder:
+    """Records per-layer compute spans relative to the executor's clock origin."""
+
+    def __init__(self, n_layers: int, origin: float) -> None:
+        self.origin = origin
+        self.compute_start_at = np.zeros(n_layers)
+        self.compute_end_at = np.zeros(n_layers)
+
+    def compute_start(self, layer_idx: int) -> None:
+        self.compute_start_at[layer_idx] = time.perf_counter() - self.origin
+
+    def compute_end(self, layer_idx: int) -> None:
+        self.compute_end_at[layer_idx] = time.perf_counter() - self.origin
+
+
+class PipelinedExecutor:
+    """Overlaps per-layer KV loading with selective recompute, for real.
+
+    Parameters
+    ----------
+    model:
+        The runnable proxy transformer the fusor computes with.
+    fusor_config:
+        Selective-recompute configuration (ratio, gradual filtering shape).
+    device:
+        Storage device (preset name or instance) whose read bandwidth and
+        access latency set the simulated per-layer transfer delay.
+    time_scale:
+        Multiplier on the device transfer delay.  The proxy model's layers
+        are tiny, so scaling lets experiments hit the load≈compute operating
+        point the paper's pipelining targets without terabyte caches.
+    layer_load_time:
+        When set, a fixed simulated transfer delay in seconds per layer,
+        overriding the device model entirely (used by the profile harness to
+        calibrate loads against measured compute).
+    """
+
+    def __init__(
+        self,
+        model: TransformerModel,
+        fusor_config: FusorConfig | None = None,
+        device: StorageDevice | str = "nvme_ssd",
+        time_scale: float = 1.0,
+        layer_load_time: float | None = None,
+    ) -> None:
+        self.model = model
+        self.fusor = KVFusor(model, fusor_config)
+        self.device = device if isinstance(device, StorageDevice) else get_device(device)
+        if time_scale < 0:
+            raise ValueError("time_scale must be non-negative")
+        if layer_load_time is not None and layer_load_time < 0:
+            raise ValueError("layer_load_time must be non-negative")
+        self.time_scale = time_scale
+        self.layer_load_time = layer_load_time
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        chunk_caches: list[KVCache],
+        suffix_token_ids: np.ndarray,
+        recompute_ratio: float | None = None,
+        pipelined: bool = True,
+    ) -> ExecutionResult:
+        """Fuse *chunk_caches* + suffix, measuring the load/compute schedule.
+
+        With ``pipelined=True`` a background thread loads layer ``i+1, i+2,
+        ...`` while layer ``i`` recomputes; with ``pipelined=False`` each
+        layer is loaded synchronously immediately before its compute.  Both
+        paths run the identical fusor numerics and return identical
+        :class:`FusionResult` contents (up to float scheduling noise — the
+        numerics are deterministic).
+        """
+        cfg = self.model.config
+        layout = self.fusor.plan_layout(chunk_caches, suffix_token_ids)
+        for cache in chunk_caches:
+            shape = cache.layers[0].keys.shape
+            if shape[1:] != (cfg.n_kv_heads, cfg.head_dim):
+                raise ValueError(
+                    f"chunk cache KV shape {shape[1:]} does not match model "
+                    f"({cfg.n_kv_heads}, {cfg.head_dim})"
+                )
+
+        # The store's view of the caches: raw fp16 bytes per (layer, chunk),
+        # exactly what serialize_kv would have persisted.
+        blobs: list[list[bytes]] = [
+            [pack_layer_kv(cache.layers[i]) for cache in chunk_caches]
+            for i in range(cfg.n_layers)
+        ]
+        chunk_positions = [cache.positions for cache in chunk_caches]
+        layer_nbytes = sum(len(b) for b in blobs[0]) if blobs else 0
+        delay = (
+            self.layer_load_time
+            if self.layer_load_time is not None
+            else self.device.read_time(layer_nbytes) * self.time_scale
+        )
+
+        n_layers = cfg.n_layers
+        load_start = np.zeros(n_layers)
+        load_end = np.zeros(n_layers)
+        slots: list[LayerKV | None] = [None] * n_layers
+        ready = [threading.Event() for _ in range(n_layers)]
+        load_error: list[BaseException] = []
+
+        origin = time.perf_counter()
+        recorder = _SpanRecorder(n_layers, origin)
+
+        def load_layer(layer_idx: int) -> None:
+            load_start[layer_idx] = time.perf_counter() - origin
+            if delay > 0.0:
+                time.sleep(delay)  # simulated device transfer
+            slots[layer_idx] = self._decode_layer(
+                blobs[layer_idx], chunk_positions, layout
+            )
+            load_end[layer_idx] = time.perf_counter() - origin
+            ready[layer_idx].set()
+
+        if pipelined:
+
+            def loader() -> None:
+                try:
+                    for layer_idx in range(n_layers):
+                        load_layer(layer_idx)
+                except BaseException as exc:  # surface in the compute thread
+                    load_error.append(exc)
+                    for event in ready:
+                        event.set()
+
+            thread = threading.Thread(target=loader, name="kv-loader", daemon=True)
+            thread.start()
+
+            def provider(layer_idx: int) -> LayerKV:
+                ready[layer_idx].wait()
+                if load_error:
+                    raise load_error[0]
+                layer = slots[layer_idx]
+                slots[layer_idx] = None  # the fusor consumes the buffer
+                assert layer is not None
+                return layer
+
+        else:
+            thread = None
+
+            def provider(layer_idx: int) -> LayerKV:
+                load_layer(layer_idx)
+                layer = slots[layer_idx]
+                slots[layer_idx] = None
+                assert layer is not None
+                return layer
+
+        provider_typed: LayerProvider = provider
+        fusion = self.fusor.fuse_layers(
+            provider_typed, layout, recompute_ratio=recompute_ratio, recorder=recorder
+        )
+        if thread is not None:
+            thread.join()
+
+        trace = PipelineTrace(
+            load_start=load_start,
+            load_end=load_end,
+            compute_start=recorder.compute_start_at,
+            compute_end=recorder.compute_end_at,
+        )
+        return ExecutionResult(
+            fusion=fusion,
+            trace=trace,
+            pipelined=pipelined,
+            simulated_load_delay=float(delay),
+        )
+
+    # ------------------------------------------------------------------
+    def _decode_layer(
+        self,
+        layer_blobs: list[bytes],
+        chunk_positions: list[np.ndarray],
+        layout: FusionLayout,
+    ) -> LayerKV:
+        """Decode one layer's blobs and assemble the padded reused buffers.
+
+        This is the per-layer "load" work that overlaps with compute:
+        ``np.frombuffer`` decode, RoPE re-alignment of the keys to the fused
+        offsets, and the scatter into the zero-padded ``(n_total, ...)``
+        buffers the fusor merges into.
+        """
+        cfg = self.model.config
+        n_total = layout.n_tokens
+        keys = np.zeros((n_total, cfg.n_kv_heads, cfg.head_dim), dtype=cfg.np_dtype)
+        values = np.zeros_like(keys)
+        for blob, old_positions, offset in zip(
+            layer_blobs, chunk_positions, layout.chunk_offsets
+        ):
+            layer = unpack_layer_kv(
+                blob, old_positions.size, cfg.n_kv_heads, cfg.head_dim
+            )
+            place_chunk_layer(keys, values, layer, old_positions, offset, cfg.rope_theta)
+        return LayerKV(keys, values)

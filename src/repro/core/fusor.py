@@ -13,6 +13,12 @@ while recomputing only a small fraction of tokens per layer:
    (gradual filtering, paper §4.3 / Figure 9) together with the suffix tokens,
    merging the freshly computed K/V entries into the reused layer cache.
 
+The reused KV of each layer is pulled through a *layer provider* exactly when
+that layer's recompute needs it, which is what lets
+:class:`~repro.core.executor.PipelinedExecutor` overlap per-layer KV loading
+with the recompute of earlier layers (paper §5).  The default provider
+assembles each layer on demand from the in-memory chunk caches.
+
 The fusor reports per-layer forward attention matrices, recompute counts and
 deviation statistics so the paper's analysis figures (6, 7, 8, 16) can be
 regenerated directly from it.
@@ -21,12 +27,13 @@ regenerated directly from it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Protocol
 
 import numpy as np
 
 from repro.core.deviation import token_kv_deviation
 from repro.core.hkvd import HKVDSelector
-from repro.core.positional import realign_chunk_cache
+from repro.model.rope import shift_keys
 from repro.model.tensors import KVCache, LayerKV
 from repro.model.transformer import TransformerModel
 
@@ -65,6 +72,89 @@ class FusorConfig:
             raise ValueError("query_window must be >= 0")
 
 
+@dataclass(frozen=True)
+class FusionLayout:
+    """Token layout of one fused input (chunks followed by the suffix).
+
+    ``chunk_offsets[c]`` is the absolute position the ``c``-th chunk starts at
+    in the fused input; chunk keys must be RoPE-shifted from their precompute
+    positions to these offsets before use.
+    """
+
+    token_ids: np.ndarray
+    positions: np.ndarray
+    suffix_start: int
+    chunk_offsets: tuple[int, ...]
+
+    @property
+    def n_tokens(self) -> int:
+        return int(self.token_ids.size)
+
+
+class ComputeSpanRecorder(Protocol):
+    """Instrumentation hook for per-layer compute spans (used by the executor)."""
+
+    def compute_start(self, layer_idx: int) -> None: ...
+
+    def compute_end(self, layer_idx: int) -> None: ...
+
+
+#: A layer provider returns the re-aligned, zero-padded reused KV of one layer.
+#: It may block (the pipelined executor's provider waits for the background
+#: load of that layer to finish).
+LayerProvider = Callable[[int], LayerKV]
+
+
+def place_chunk_layer(
+    keys: np.ndarray,
+    values: np.ndarray,
+    layer: LayerKV,
+    old_positions: np.ndarray,
+    offset: int,
+    rope_theta: float,
+) -> None:
+    """Scatter one chunk's layer KV into padded buffers at *offset*.
+
+    Keys are rotated by the chunk's position delta (exact under RoPE, paper
+    Appendix A); values are position independent and copied as-is.  This is
+    the single definition of the re-alignment rule, shared by the in-memory
+    provider below and the executor's background loader.
+    """
+    n = layer.n_tokens
+    new_positions = np.arange(offset, offset + n, dtype=np.int64)
+    if np.array_equal(old_positions, new_positions):
+        keys[offset : offset + n] = layer.keys
+    else:
+        keys[offset : offset + n] = shift_keys(
+            layer.keys, old_positions, new_positions, rope_theta
+        )
+    values[offset : offset + n] = layer.values
+
+
+def assemble_reused_layer(
+    chunk_caches: list[KVCache],
+    layout: FusionLayout,
+    layer_idx: int,
+    rope_theta: float,
+    n_kv_heads: int,
+    head_dim: int,
+    dtype: np.dtype,
+) -> LayerKV:
+    """Build one layer's reused KV: re-aligned chunk entries, zero-padded suffix.
+
+    The suffix region stays zero — suffix tokens have no precomputed KV and
+    are always recomputed.
+    """
+    n_total = layout.n_tokens
+    keys = np.zeros((n_total, n_kv_heads, head_dim), dtype=dtype)
+    values = np.zeros_like(keys)
+    for cache, offset in zip(chunk_caches, layout.chunk_offsets):
+        place_chunk_layer(
+            keys, values, cache.layers[layer_idx], cache.positions, offset, rope_theta
+        )
+    return LayerKV(keys, values)
+
+
 @dataclass
 class FusionResult:
     """Everything produced by one fusion pass."""
@@ -100,6 +190,57 @@ class KVFusor:
         self.config = config or FusorConfig()
 
     # ------------------------------------------------------------------
+    def plan_layout(
+        self, chunk_caches: list[KVCache], suffix_token_ids: np.ndarray
+    ) -> FusionLayout:
+        """Validate the chunk caches and lay out the fused input."""
+        if not chunk_caches:
+            raise ValueError("fusion requires at least one chunk cache")
+        suffix_token_ids = np.asarray(suffix_token_ids, dtype=np.int64)
+        n_layers = self.model.config.n_layers
+        offsets: list[int] = []
+        offset = 0
+        for cache in chunk_caches:
+            if cache.n_layers != n_layers:
+                raise ValueError(
+                    f"chunk cache has {cache.n_layers} layers; model has {n_layers}"
+                )
+            if cache.n_tokens == 0:
+                raise ValueError("cannot fuse an empty chunk cache")
+            offsets.append(offset)
+            offset += cache.n_tokens
+        suffix_start = offset
+        token_ids = np.concatenate(
+            [cache.token_ids for cache in chunk_caches] + [suffix_token_ids]
+        )
+        positions = np.arange(token_ids.size, dtype=np.int64)
+        return FusionLayout(
+            token_ids=token_ids,
+            positions=positions,
+            suffix_start=suffix_start,
+            chunk_offsets=tuple(offsets),
+        )
+
+    def default_provider(
+        self, chunk_caches: list[KVCache], layout: FusionLayout
+    ) -> LayerProvider:
+        """Provider assembling each reused layer on demand from memory."""
+        cfg = self.model.config
+
+        def provider(layer_idx: int) -> LayerKV:
+            return assemble_reused_layer(
+                chunk_caches,
+                layout,
+                layer_idx,
+                cfg.rope_theta,
+                cfg.n_kv_heads,
+                cfg.head_dim,
+                cfg.np_dtype,
+            )
+
+        return provider
+
+    # ------------------------------------------------------------------
     def fuse(
         self,
         chunk_caches: list[KVCache],
@@ -121,17 +262,35 @@ class KVFusor:
             Optional override of the configured recompute ratio (used by the
             loading controller, which adapts the ratio to the storage device).
         """
-        if not chunk_caches:
-            raise ValueError("fuse() requires at least one chunk cache")
-        suffix_token_ids = np.asarray(suffix_token_ids, dtype=np.int64)
+        layout = self.plan_layout(chunk_caches, suffix_token_ids)
+        provider = self.default_provider(chunk_caches, layout)
+        return self.fuse_layers(provider, layout, recompute_ratio=recompute_ratio)
+
+    # ------------------------------------------------------------------
+    def fuse_layers(
+        self,
+        layer_provider: LayerProvider,
+        layout: FusionLayout,
+        recompute_ratio: float | None = None,
+        recorder: ComputeSpanRecorder | None = None,
+    ) -> FusionResult:
+        """Run the selective-recompute pass, pulling reused KV per layer.
+
+        ``layer_provider(i)`` must return layer ``i``'s re-aligned, padded
+        reused KV; it is called exactly once per layer, immediately before
+        that layer's recompute, so a pipelined provider can overlap loading
+        with the compute of earlier layers.  The returned buffers are consumed
+        (recomputed rows are scattered into them in place) and become part of
+        the fused cache.  ``recorder``, when given, is notified at the start
+        and end of each layer's compute span.
+        """
         ratio = self.config.recompute_ratio if recompute_ratio is None else recompute_ratio
         if not 0.0 <= ratio <= 1.0:
             raise ValueError("recompute_ratio must be in [0, 1]")
-
-        reused, token_ids, positions, suffix_start = self._assemble(
-            chunk_caches, suffix_token_ids
-        )
-        n_tokens = token_ids.size
+        token_ids = layout.token_ids
+        positions = layout.positions
+        suffix_start = layout.suffix_start
+        n_tokens = layout.n_tokens
         suffix_indices = np.arange(suffix_start, n_tokens, dtype=np.int64)
 
         selector = HKVDSelector(
@@ -148,9 +307,11 @@ class KVFusor:
         selected_per_layer: list[np.ndarray] = []
         recompute_counts: list[int] = []
         layer_deviations: list[np.ndarray] = []
-        first_layer_deviation: np.ndarray | None = None
 
         # ---- layer 0: full recompute to seed HKVD selection -------------
+        reused0 = layer_provider(0)
+        if recorder is not None:
+            recorder.compute_start(0)
         out0 = self.model.layer_full(
             0, hidden, positions, query_window=self.config.query_window
         )
@@ -160,27 +321,34 @@ class KVFusor:
         recompute_counts.append(n_tokens)
         selected_per_layer.append(np.arange(n_tokens, dtype=np.int64))
 
-        deviation0 = self._deviation_against_reused(
-            out0.layer_kv, reused[0], suffix_start
-        )
+        deviation0 = self._deviation_against_reused(out0.layer_kv, reused0, suffix_start)
         first_layer_deviation = deviation0
         layer_deviations.append(deviation0)
         if self.config.recompute_first_layer:
             selected = selector.first_selection(deviation0)
         else:
             selected = self._random_selection(selector, n_tokens, suffix_indices)
-        hidden_full = out0.hidden
-        hidden_selected = hidden_full[selected]
+        hidden_selected = out0.hidden[selected]
+        if recorder is not None:
+            recorder.compute_end(0)
 
         # ---- layers 1..L-1: selective recompute --------------------------
         for layer_idx in range(1, self.model.config.n_layers):
+            reused = layer_provider(layer_idx)
+            if recorder is not None:
+                recorder.compute_start(layer_idx)
+            # Snapshot the reused rows being replaced: the in-place scatter
+            # below overwrites them, but the deviation metric needs them.
+            prev_keys = reused.keys[selected]
+            prev_values = reused.values[selected]
             out = self.model.layer_selective(
                 layer_idx,
                 hidden_selected,
                 selected,
                 positions,
-                reused[layer_idx],
+                reused,
                 query_window=self.config.query_window,
+                in_place=True,
             )
             fused_layers.append(out.merged_kv)
             if out.forward_attention is not None:
@@ -189,7 +357,13 @@ class KVFusor:
             selected_per_layer.append(selected)
 
             deviation = self._selected_deviation(
-                out.new_keys, out.new_values, reused[layer_idx], selected, suffix_start
+                out.new_keys,
+                out.new_values,
+                prev_keys,
+                prev_values,
+                selected,
+                suffix_start,
+                n_tokens,
             )
             layer_deviations.append(deviation)
 
@@ -200,6 +374,8 @@ class KVFusor:
                 selected = selected[keep_mask]
             else:
                 hidden_selected = out.hidden_selected
+            if recorder is not None:
+                recorder.compute_end(layer_idx)
 
         last_logits = self._last_logits(hidden_selected, selected, n_tokens)
         kv_cache = KVCache(fused_layers, token_ids, positions)
@@ -226,16 +402,12 @@ class KVFusor:
         the chunk region is also reused rather than recomputed, which is what
         the full-KV-reuse baseline does.
         """
-        if not chunk_caches:
-            raise ValueError("full_reuse() requires at least one chunk cache")
-        suffix_token_ids = np.asarray(suffix_token_ids, dtype=np.int64)
-        reused, token_ids, positions, suffix_start = self._assemble(
-            chunk_caches, suffix_token_ids
-        )
-        n_tokens = token_ids.size
-        suffix_indices = np.arange(suffix_start, n_tokens, dtype=np.int64)
+        layout = self.plan_layout(chunk_caches, suffix_token_ids)
+        provider = self.default_provider(chunk_caches, layout)
+        n_tokens = layout.n_tokens
+        suffix_indices = np.arange(layout.suffix_start, n_tokens, dtype=np.int64)
 
-        hidden_selected = self.model.embed(token_ids[suffix_indices])
+        hidden_selected = self.model.embed(layout.token_ids[suffix_indices])
         fused_layers: list[LayerKV] = []
         forward_attention: list[np.ndarray] = []
         recompute_counts: list[int] = []
@@ -245,9 +417,10 @@ class KVFusor:
                 layer_idx,
                 hidden_selected,
                 suffix_indices,
-                positions,
-                reused[layer_idx],
+                layout.positions,
+                provider(layer_idx),
                 query_window=self.config.query_window,
+                in_place=True,
             )
             fused_layers.append(out.merged_kv)
             if out.forward_attention is not None:
@@ -258,11 +431,11 @@ class KVFusor:
 
         last_logits = self._last_logits(hidden_selected, suffix_indices, n_tokens)
         return FusionResult(
-            kv_cache=KVCache(fused_layers, token_ids, positions),
+            kv_cache=KVCache(fused_layers, layout.token_ids, layout.positions),
             last_logits=last_logits,
-            token_ids=token_ids,
-            positions=positions,
-            suffix_start=suffix_start,
+            token_ids=layout.token_ids,
+            positions=layout.positions,
+            suffix_start=layout.suffix_start,
             forward_attention=forward_attention,
             selected_per_layer=selected_per_layer,
             recompute_counts=recompute_counts,
@@ -271,39 +444,6 @@ class KVFusor:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _assemble(
-        self, chunk_caches: list[KVCache], suffix_token_ids: np.ndarray
-    ) -> tuple[list[LayerKV], np.ndarray, np.ndarray, int]:
-        """Re-align chunk caches, append suffix placeholders, build layout."""
-        theta = self.model.config.rope_theta
-        n_layers = self.model.config.n_layers
-        aligned: list[KVCache] = []
-        offset = 0
-        for cache in chunk_caches:
-            if cache.n_layers != n_layers:
-                raise ValueError(
-                    f"chunk cache has {cache.n_layers} layers; model has {n_layers}"
-                )
-            aligned.append(realign_chunk_cache(cache, offset, theta))
-            offset += cache.n_tokens
-        chunk_region = KVCache.concat(aligned)
-        suffix_start = chunk_region.n_tokens
-        n_suffix = int(suffix_token_ids.size)
-        n_total = suffix_start + n_suffix
-
-        token_ids = np.concatenate([chunk_region.token_ids, suffix_token_ids])
-        positions = np.arange(n_total, dtype=np.int64)
-
-        cfg = self.model.config
-        reused: list[LayerKV] = []
-        for layer in chunk_region.layers:
-            keys = np.zeros((n_total, cfg.n_kv_heads, cfg.head_dim))
-            values = np.zeros_like(keys)
-            keys[:suffix_start] = layer.keys
-            values[:suffix_start] = layer.values
-            reused.append(LayerKV(keys, values))
-        return reused, token_ids, positions, suffix_start
-
     @staticmethod
     def _deviation_against_reused(
         computed: LayerKV, reused: LayerKV, suffix_start: int
@@ -322,15 +462,20 @@ class KVFusor:
     def _selected_deviation(
         new_keys: np.ndarray,
         new_values: np.ndarray,
-        reused: LayerKV,
+        prev_keys: np.ndarray,
+        prev_values: np.ndarray,
         selected: np.ndarray,
         suffix_start: int,
+        n_tokens: int,
     ) -> np.ndarray:
-        """Full-length deviation array populated only at the selected tokens."""
-        n_tokens = reused.n_tokens
+        """Full-length deviation array populated only at the selected tokens.
+
+        ``prev_keys``/``prev_values`` are the reused rows the selected tokens
+        replaced (snapshotted before the in-place merge).
+        """
         deviation = np.zeros(n_tokens)
-        key_diff = new_keys - reused.keys[selected]
-        value_diff = new_values - reused.values[selected]
+        key_diff = new_keys - prev_keys
+        value_diff = new_values - prev_values
         per_token = np.linalg.norm(
             key_diff.reshape(len(selected), -1), axis=1
         ) + np.linalg.norm(value_diff.reshape(len(selected), -1), axis=1)

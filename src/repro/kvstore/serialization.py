@@ -4,6 +4,16 @@ KV caches are stored as float16 (or int8-scaled, for the quantised presets)
 blobs.  ``kv_nbytes`` is the size accounting the storage devices and the
 loading-delay estimator use; ``serialize_kv``/``deserialize_kv`` produce real
 byte buffers so the store can optionally persist caches to files on disk.
+
+Two wire formats exist:
+
+* ``RPKV2`` (current, written by :func:`serialize_kv`): a JSON shape/dtype
+  header followed by the raw C-order array bytes of the token ids, positions
+  and per-layer fp16 K/V tensors.  Loading is a zero-copy
+  ``np.frombuffer`` + ``reshape`` per array — no zip container, no pickle.
+* ``RPKV1`` (legacy): the same header followed by an ``np.savez`` archive.
+  Still readable behind the magic check so caches persisted by older
+  versions keep loading.
 """
 
 from __future__ import annotations
@@ -15,7 +25,12 @@ import numpy as np
 
 from repro.model.tensors import KVCache, LayerKV
 
-_MAGIC = b"RPKV1\n"
+_MAGIC_V1 = b"RPKV1\n"
+_MAGIC_V2 = b"RPKV2\n"
+
+#: On-disk dtype of the KV payload (the paper stores KV caches in fp16).
+_KV_DTYPE = np.dtype(np.float16)
+_IDX_DTYPE = np.dtype(np.int64)
 
 
 def kv_nbytes(cache: KVCache, dtype_bytes: int = 2) -> int:
@@ -25,42 +40,137 @@ def kv_nbytes(cache: KVCache, dtype_bytes: int = 2) -> int:
     return cache.nbytes(dtype_bytes)
 
 
+# ----------------------------------------------------------------------
+# Per-layer raw payloads (shared with the pipelined executor, which loads
+# and decodes one layer at a time).
+# ----------------------------------------------------------------------
+def pack_layer_kv(layer: LayerKV) -> bytes:
+    """Raw fp16 bytes of one layer: keys then values, C order."""
+    return (
+        np.ascontiguousarray(layer.keys, dtype=_KV_DTYPE).tobytes()
+        + np.ascontiguousarray(layer.values, dtype=_KV_DTYPE).tobytes()
+    )
+
+
+def unpack_layer_kv(
+    data: bytes, n_tokens: int, n_kv_heads: int, head_dim: int, offset: int = 0
+) -> LayerKV:
+    """Inverse of :func:`pack_layer_kv` (zero-copy ``np.frombuffer`` views).
+
+    ``offset`` locates the layer payload inside a larger buffer, so callers
+    holding a whole-cache blob never slice (= copy) the payload bytes.
+    """
+    shape = (n_tokens, n_kv_heads, head_dim)
+    count = n_tokens * n_kv_heads * head_dim
+    keys = np.frombuffer(data, dtype=_KV_DTYPE, count=count, offset=offset).reshape(shape)
+    values = np.frombuffer(
+        data, dtype=_KV_DTYPE, count=count, offset=offset + count * _KV_DTYPE.itemsize
+    ).reshape(shape)
+    return LayerKV(keys, values)
+
+
+# ----------------------------------------------------------------------
+# Whole-cache serialization
+# ----------------------------------------------------------------------
 def serialize_kv(cache: KVCache) -> bytes:
-    """Serialise *cache* into a self-describing byte string (fp16 payload)."""
-    buffer = io.BytesIO()
-    buffer.write(_MAGIC)
+    """Serialise *cache* into a self-describing byte string (fp16 payload).
+
+    Writes the ``RPKV2`` raw format: header, token ids, positions, then each
+    layer's K/V bytes back to back.
+    """
+    if cache.layers:
+        n_kv_heads = cache.layers[0].keys.shape[1]
+        head_dim = cache.layers[0].keys.shape[2]
+        for i, layer in enumerate(cache.layers):
+            if layer.keys.shape[1:] != (n_kv_heads, head_dim):
+                raise ValueError(
+                    f"layer {i} KV shape {layer.keys.shape[1:]} differs from "
+                    f"layer 0 ({n_kv_heads}, {head_dim}); the raw format "
+                    "requires uniform layer shapes"
+                )
+    else:
+        n_kv_heads = head_dim = 0
     header = {
         "n_layers": cache.n_layers,
         "n_tokens": cache.n_tokens,
+        "n_kv_heads": n_kv_heads,
+        "head_dim": head_dim,
+        "kv_dtype": _KV_DTYPE.name,
+        "idx_dtype": _IDX_DTYPE.name,
     }
     header_bytes = json.dumps(header).encode("utf-8")
-    buffer.write(len(header_bytes).to_bytes(4, "little"))
-    buffer.write(header_bytes)
-    arrays: dict[str, np.ndarray] = {
-        "token_ids": cache.token_ids.astype(np.int64),
-        "positions": cache.positions.astype(np.int64),
-    }
-    for i, layer in enumerate(cache.layers):
-        arrays[f"k{i}"] = layer.keys.astype(np.float16)
-        arrays[f"v{i}"] = layer.values.astype(np.float16)
-    np.savez(buffer, **arrays)
-    return buffer.getvalue()
+    parts = [
+        _MAGIC_V2,
+        len(header_bytes).to_bytes(4, "little"),
+        header_bytes,
+        np.ascontiguousarray(cache.token_ids, dtype=_IDX_DTYPE).tobytes(),
+        np.ascontiguousarray(cache.positions, dtype=_IDX_DTYPE).tobytes(),
+    ]
+    for layer in cache.layers:
+        parts.append(pack_layer_kv(layer))
+    return b"".join(parts)
 
 
 def deserialize_kv(data: bytes) -> KVCache:
-    """Inverse of :func:`serialize_kv`."""
-    if not data.startswith(_MAGIC):
-        raise ValueError("not a serialized KV cache (bad magic)")
+    """Inverse of :func:`serialize_kv`; also reads the legacy ``RPKV1`` format.
+
+    The fp16 payload is up-cast to the float32 compute dtype by
+    :class:`~repro.model.tensors.LayerKV` (not to float64 as older versions
+    did).
+    """
+    if data.startswith(_MAGIC_V2):
+        return _deserialize_v2(data)
+    if data.startswith(_MAGIC_V1):
+        return _deserialize_v1(data)
+    raise ValueError("not a serialized KV cache (bad magic)")
+
+
+def _read_header(data: bytes, magic: bytes) -> tuple[dict, int]:
+    offset = len(magic)
+    header_len = int.from_bytes(data[offset : offset + 4], "little")
+    offset += 4
+    header = json.loads(data[offset : offset + header_len].decode("utf-8"))
+    return header, offset + header_len
+
+
+def _deserialize_v2(data: bytes) -> KVCache:
+    header, offset = _read_header(data, _MAGIC_V2)
+    n_layers = header["n_layers"]
+    n_tokens = header["n_tokens"]
+    n_kv_heads = header["n_kv_heads"]
+    head_dim = header["head_dim"]
+    kv_dtype = np.dtype(header["kv_dtype"])
+    idx_dtype = np.dtype(header["idx_dtype"])
+    if kv_dtype != _KV_DTYPE:
+        raise ValueError(
+            f"unsupported kv_dtype {kv_dtype.name!r} in RPKV2 header; "
+            f"this version decodes {_KV_DTYPE.name} payloads only"
+        )
+
+    token_ids = np.frombuffer(data, dtype=idx_dtype, count=n_tokens, offset=offset)
+    offset += n_tokens * idx_dtype.itemsize
+    positions = np.frombuffer(data, dtype=idx_dtype, count=n_tokens, offset=offset)
+    offset += n_tokens * idx_dtype.itemsize
+
+    layer_bytes = 2 * n_tokens * n_kv_heads * head_dim * kv_dtype.itemsize
+    layers = []
+    for _ in range(n_layers):
+        layers.append(
+            unpack_layer_kv(data, n_tokens, n_kv_heads, head_dim, offset=offset)
+        )
+        offset += layer_bytes
+    return KVCache(layers, token_ids, positions)
+
+
+def _deserialize_v1(data: bytes) -> KVCache:
+    """Legacy ``np.savez``-based format."""
     buffer = io.BytesIO(data)
-    buffer.read(len(_MAGIC))
+    buffer.read(len(_MAGIC_V1))
     header_len = int.from_bytes(buffer.read(4), "little")
     header = json.loads(buffer.read(header_len).decode("utf-8"))
     archive = np.load(buffer)
     layers = [
-        LayerKV(
-            archive[f"k{i}"].astype(np.float64),
-            archive[f"v{i}"].astype(np.float64),
-        )
+        LayerKV(archive[f"k{i}"], archive[f"v{i}"])
         for i in range(header["n_layers"])
     ]
     return KVCache(layers, archive["token_ids"], archive["positions"])

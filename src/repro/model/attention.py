@@ -40,15 +40,6 @@ class AttentionOutput:
     forward_attention: np.ndarray | None
 
 
-def _expand_kv(tensor: np.ndarray, n_heads: int) -> np.ndarray:
-    """Repeat KV heads so they match the number of query heads (GQA)."""
-    n_kv_heads = tensor.shape[1]
-    if n_kv_heads == n_heads:
-        return tensor
-    group = n_heads // n_kv_heads
-    return np.repeat(tensor, group, axis=1)
-
-
 def _attend(
     queries: np.ndarray,
     keys: np.ndarray,
@@ -57,23 +48,32 @@ def _attend(
     key_positions: np.ndarray,
     window_rows: np.ndarray | None,
 ) -> AttentionOutput:
-    """Shared core: causal softmax attention with optional window extraction."""
-    n_heads = queries.shape[1]
-    head_dim = queries.shape[2]
-    keys = _expand_kv(keys, n_heads)
-    values = _expand_kv(values, n_heads)
+    """Shared core: causal softmax attention with optional window extraction.
 
-    # scores[h, q, k]
-    scores = np.einsum("qhd,khd->hqk", queries, keys) / np.sqrt(head_dim)
-    mask = key_positions[None, None, :] > query_positions[None, :, None]
-    scores = np.where(mask, -1e30, scores)
+    GQA is handled by viewing the query heads as ``(n_kv_heads, group)`` and
+    broadcasting the keys/values across the group axis, so the KV tensors are
+    never materialised ``group`` times.  Scores and the causal mask are only
+    allocated for the actual query rows — ``(n_queries, n_keys)`` — never the
+    full ``n_keys × n_keys``.
+    """
+    n_queries, n_heads, head_dim = queries.shape
+    n_kv_heads = keys.shape[1]
+    group = n_heads // n_kv_heads
+
+    q_grouped = queries.reshape(n_queries, n_kv_heads, group, head_dim)
+    # scores[h, g, q, k] with h the KV head and g the query head within its group
+    scores = np.einsum("qhgd,khd->hgqk", q_grouped, keys)
+    scores *= scores.dtype.type(1.0 / np.sqrt(head_dim))
+    mask = key_positions[None, :] > query_positions[:, None]  # (n_queries, n_keys)
+    np.copyto(scores, scores.dtype.type(-1e30), where=mask[None, None, :, :])
     weights = softmax(scores, axis=-1)
 
-    context = np.einsum("hqk,khd->qhd", weights, values)
+    context = np.einsum("hgqk,khd->qhgd", weights, values)
+    context = context.reshape(n_queries, n_heads, head_dim)
 
     forward_attention = None
     if window_rows is not None and window_rows.size:
-        forward_attention = weights[:, window_rows, :].mean(axis=0)
+        forward_attention = weights[:, :, window_rows, :].mean(axis=(0, 1))
     return AttentionOutput(context=context, forward_attention=forward_attention)
 
 

@@ -14,6 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+#: Compute dtypes the runnable proxy models support.
+COMPUTE_DTYPES = ("float32", "float64")
+
 
 @dataclass(frozen=True)
 class ModelConfig:
@@ -30,6 +35,11 @@ class ModelConfig:
         Base of the rotary positional embedding.
     dtype_bytes:
         Bytes per stored KV element (2 for fp16, 1 for int8 quantised KV).
+    compute_dtype:
+        NumPy dtype the runnable forward pass computes in (``"float32"`` by
+        default; ``"float64"`` is available for numerical reference runs).
+        Stored KV stays fp16 on disk regardless — this only governs the
+        in-memory compute path.
     max_position:
         Maximum sequence length supported.
     runnable:
@@ -46,6 +56,7 @@ class ModelConfig:
     vocab_size: int = 2048
     rope_theta: float = 10_000.0
     dtype_bytes: int = 2
+    compute_dtype: str = "float32"
     max_position: int = 8192
     runnable: bool = True
 
@@ -62,6 +73,16 @@ class ModelConfig:
             )
         if self.head_dim % 2 != 0:
             raise ValueError("head_dim must be even for rotary embeddings")
+        if self.compute_dtype not in COMPUTE_DTYPES:
+            raise ValueError(
+                f"compute_dtype must be one of {COMPUTE_DTYPES}, "
+                f"got {self.compute_dtype!r}"
+            )
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The NumPy dtype of the runnable compute path."""
+        return np.dtype(self.compute_dtype)
 
     @property
     def head_dim(self) -> int:

@@ -10,8 +10,12 @@ from repro.model.config import ModelConfig
 
 
 def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-6) -> np.ndarray:
-    """Root-mean-square layer normalisation (as in Llama/Mistral)."""
-    x = np.asarray(x, dtype=np.float64)
+    """Root-mean-square layer normalisation (as in Llama/Mistral).
+
+    Computes in the dtype of *x* (the model's compute dtype) rather than
+    up-casting to float64.
+    """
+    x = np.asarray(x)
     scale = np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + eps)
     return x / scale * weight
 
@@ -69,9 +73,10 @@ def init_weights(config: ModelConfig, seed: int = 0) -> ModelWeights:
     rng = np.random.default_rng(seed)
     d = config.hidden_size
     kv_dim = config.n_kv_heads * config.head_dim
+    dtype = config.np_dtype
 
     def matrix(rows: int, cols: int, scale: float) -> np.ndarray:
-        return rng.normal(0.0, scale, size=(rows, cols))
+        return rng.normal(0.0, scale, size=(rows, cols)).astype(dtype)
 
     attn_scale = 1.2 / np.sqrt(d)
     mlp_scale = 1.0 / np.sqrt(d)
@@ -86,15 +91,15 @@ def init_weights(config: ModelConfig, seed: int = 0) -> ModelWeights:
                 w_gate=matrix(d, config.ffn_size, mlp_scale),
                 w_up=matrix(d, config.ffn_size, mlp_scale),
                 w_down=matrix(config.ffn_size, d, 1.0 / np.sqrt(config.ffn_size)),
-                norm_attn=np.ones(d),
-                norm_mlp=np.ones(d),
+                norm_attn=np.ones(d, dtype=dtype),
+                norm_mlp=np.ones(d, dtype=dtype),
             )
         )
-    embedding = rng.normal(0.0, 1.0, size=(config.vocab_size, d))
-    lm_head = rng.normal(0.0, 1.0 / np.sqrt(d), size=(d, config.vocab_size))
+    embedding = rng.normal(0.0, 1.0, size=(config.vocab_size, d)).astype(dtype)
+    lm_head = rng.normal(0.0, 1.0 / np.sqrt(d), size=(d, config.vocab_size)).astype(dtype)
     return ModelWeights(
         embedding=embedding,
         layers=layers,
-        norm_final=np.ones(d),
+        norm_final=np.ones(d, dtype=dtype),
         lm_head=lm_head,
     )

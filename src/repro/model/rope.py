@@ -33,17 +33,21 @@ def apply_rope(x: np.ndarray, positions: np.ndarray, theta: float = 10_000.0) ->
     Parameters
     ----------
     x:
-        Array of shape ``(n_tokens, n_heads, head_dim)``.
+        Array of shape ``(n_tokens, n_heads, head_dim)``.  The output keeps
+        this array's floating dtype (the model's compute dtype); only the
+        rotation angles are evaluated in float64.
     positions:
         Integer positions of shape ``(n_tokens,)``.
     """
-    x = np.asarray(x, dtype=np.float64)
+    x = np.asarray(x)
+    if not np.issubdtype(x.dtype, np.floating):
+        x = x.astype(np.float64)
     n_tokens, _, head_dim = x.shape
     if len(positions) != n_tokens:
         raise ValueError(f"positions length {len(positions)} != n_tokens {n_tokens}")
     angles = rope_angles(positions, head_dim, theta)  # (T, d/2)
-    cos = np.cos(angles)[:, None, :]
-    sin = np.sin(angles)[:, None, :]
+    cos = np.cos(angles)[:, None, :].astype(x.dtype)
+    sin = np.sin(angles)[:, None, :].astype(x.dtype)
     x_even = x[..., 0::2]
     x_odd = x[..., 1::2]
     out = np.empty_like(x)

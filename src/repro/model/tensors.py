@@ -13,6 +13,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 
+def _as_compute_array(tensor: np.ndarray) -> np.ndarray:
+    """Coerce *tensor* to a float compute dtype without an implicit fp64 up-cast."""
+    tensor = np.asarray(tensor)
+    if tensor.dtype in (np.float32, np.float64):
+        return tensor
+    return tensor.astype(np.float32)
+
+
 @dataclass
 class LayerKV:
     """Key/value tensors of one transformer layer.
@@ -24,8 +32,11 @@ class LayerKV:
     values: np.ndarray
 
     def __post_init__(self) -> None:
-        self.keys = np.asarray(self.keys, dtype=np.float64)
-        self.values = np.asarray(self.values, dtype=np.float64)
+        # Preserve the caller's compute dtype (float32 by default end-to-end);
+        # only sub-float32 storage dtypes (fp16 payloads) are up-cast, to
+        # float32 rather than the former float64.
+        self.keys = _as_compute_array(self.keys)
+        self.values = _as_compute_array(self.values)
         if self.keys.shape != self.values.shape:
             raise ValueError(
                 f"keys shape {self.keys.shape} != values shape {self.values.shape}"

@@ -160,12 +160,18 @@ class TransformerModel:
         positions: np.ndarray,
         reused_kv: LayerKV,
         query_window: int = 0,
+        in_place: bool = False,
     ) -> LayerSelectiveOutput:
         """Run one layer recomputing only *selected_indices* (CacheBlend path).
 
         ``hidden_selected`` holds the hidden states of the selected tokens
         only.  The keys/values of all other tokens are taken from
         ``reused_kv`` (the loaded, positionally re-aligned chunk caches).
+
+        With ``in_place=True`` the freshly computed K/V rows are scattered
+        directly into ``reused_kv``'s buffers instead of copying the full
+        layer first — the caller must own those buffers and must read any
+        reused rows it still needs (e.g. for deviation) *before* the call.
         """
         selected_indices = np.asarray(selected_indices, dtype=np.int64)
         if reused_kv.n_tokens != len(positions):
@@ -177,8 +183,12 @@ class TransformerModel:
         _, q_sel, k_sel, v_sel = self._project_qkv(
             layer_idx, hidden_selected, sel_positions
         )
-        merged_keys = reused_kv.keys.copy()
-        merged_values = reused_kv.values.copy()
+        if in_place:
+            merged_keys = reused_kv.keys
+            merged_values = reused_kv.values
+        else:
+            merged_keys = reused_kv.keys.copy()
+            merged_values = reused_kv.values.copy()
         merged_keys[selected_indices] = k_sel
         merged_values[selected_indices] = v_sel
         attn = selective_attention(
@@ -190,9 +200,10 @@ class TransformerModel:
             query_window=query_window,
         )
         new_hidden_selected = self._finish_layer(layer_idx, hidden_selected, attn.context)
+        merged_kv = reused_kv if in_place else LayerKV(merged_keys, merged_values)
         return LayerSelectiveOutput(
             hidden_selected=new_hidden_selected,
-            merged_kv=LayerKV(merged_keys, merged_values),
+            merged_kv=merged_kv,
             new_keys=k_sel,
             new_values=v_sel,
             forward_attention=attn.forward_attention,

@@ -55,6 +55,26 @@ class TestBlendEngineRun:
         assert stats["hits"] == 2
         assert stats["misses"] == 2
 
+    def test_tokenizer_encodings_are_memoized(self, engine):
+        engine.reset_cache_stats()
+        text = "a brand new text no other test encodes"
+        first = engine.encode(text)
+        second = engine.encode(text)
+        assert second is first  # LRU hit returns the shared array
+        assert not second.flags.writeable
+        stats = engine.cache_stats
+        assert stats["tokenizer_misses"] == 1
+        assert stats["tokenizer_hits"] == 1
+
+    def test_repeat_requests_hit_the_encoding_cache(self, engine):
+        engine.precompute_chunks(CHUNKS[:2])
+        engine.reset_cache_stats()
+        engine.run(CHUNKS[:2], "same question twice")
+        engine.run(CHUNKS[:2], "same question twice")
+        stats = engine.cache_stats
+        # Second request re-encodes nothing: two chunks plus the question hit.
+        assert stats["tokenizer_hits"] >= 3
+
     def test_faster_device_lowers_ttft(self):
         fast = BlendEngine.build(paper_model="Mistral-7B", device="cpu_ram", seed=0)
         slow = BlendEngine.build(paper_model="Mistral-7B", device="slow_disk", seed=0)

@@ -45,8 +45,10 @@ class TestRealignChunkCache:
         realigned = realign_chunk_cache(
             chunk_cache, offset, model.config.rope_theta
         )
+        # The compute path runs in float32; the correction is exact up to
+        # fp32 rounding of the stored keys.
         for layer, ref in zip(realigned.layers, direct.layers):
-            assert np.allclose(layer.keys, ref.keys, atol=1e-10)
+            assert np.allclose(layer.keys, ref.keys, atol=1e-5)
 
     def test_realignment_composes(self, chunk_cache, model):
         theta = model.config.rope_theta
@@ -55,7 +57,7 @@ class TestRealignChunkCache:
         )
         direct = realign_chunk_cache(chunk_cache, 9, theta)
         for layer, ref in zip(via_two_steps.layers, direct.layers):
-            assert np.allclose(layer.keys, ref.keys, atol=1e-10)
+            assert np.allclose(layer.keys, ref.keys, atol=1e-5)
 
     def test_empty_cache_rejected(self, model):
         from repro.model.tensors import KVCache

@@ -1,0 +1,78 @@
+"""Profile harness: report schema, persistence and the regression gate."""
+
+import copy
+
+import pytest
+
+from repro.bench.profile import (
+    ProfileConfig,
+    check_against_baseline,
+    format_profile_summary,
+    run_profile,
+    save_profile_report,
+    validate_profile_report,
+)
+
+
+@pytest.fixture(scope="module")
+def document():
+    config = ProfileConfig(
+        model="tiny", n_chunks=2, chunk_tokens=24, suffix_tokens=8, repeats=1, warmup=0
+    )
+    return run_profile(config)
+
+
+class TestProfileReport:
+    def test_document_validates(self, document):
+        validate_profile_report(document)
+
+    def test_all_hot_path_ops_are_timed(self, document):
+        for op in (
+            "chunk_prefill",
+            "fuse_sequential",
+            "fuse_pipelined",
+            "serialize_kv",
+            "deserialize_kv",
+        ):
+            assert document["ops"][op]["min_s"] > 0.0
+
+    def test_pipeline_block_is_measured(self, document):
+        pipeline = document["pipeline"]
+        assert pipeline["sequential_total_s"] > 0.0
+        assert pipeline["pipelined_total_s"] > 0.0
+        assert pipeline["measured_speedup"] > 0.0
+        assert pipeline["layer_load_time_s"] > 0.0
+
+    def test_save_writes_bench_profile_file(self, document, tmp_path):
+        path = save_profile_report(document, out_dir=tmp_path, tag="test")
+        assert path.name.startswith("BENCH_profile_test_")
+        assert path.exists()
+
+    def test_summary_renders(self, document):
+        text = format_profile_summary(document)
+        assert "pipelined vs sequential fuse" in text
+
+    def test_validation_rejects_missing_op(self, document):
+        broken = copy.deepcopy(document)
+        del broken["ops"]["fuse_sequential"]
+        with pytest.raises(ValueError):
+            validate_profile_report(broken)
+
+
+class TestBaselineGate:
+    def test_no_failure_within_budget(self, document):
+        assert check_against_baseline(document, copy.deepcopy(document)) == []
+
+    def test_regression_detected(self, document):
+        baseline = copy.deepcopy(document)
+        for op in ("fuse_sequential", "fuse_pipelined"):
+            baseline["ops"][op]["min_s"] = document["ops"][op]["min_s"] / 10.0
+        failures = check_against_baseline(document, baseline, max_regression=2.0)
+        assert len(failures) == 2
+        assert "fuse_sequential" in failures[0]
+
+    def test_missing_baseline_op_is_skipped(self, document):
+        baseline = copy.deepcopy(document)
+        del baseline["ops"]["fuse_pipelined"]
+        failures = check_against_baseline(document, baseline)
+        assert all("fuse_pipelined" not in f for f in failures)

@@ -1,0 +1,143 @@
+"""KV serialization: raw v2 format, per-layer payloads, legacy v1 reads."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.kvstore.serialization import (
+    deserialize_kv,
+    load_kv,
+    pack_layer_kv,
+    save_kv,
+    serialize_kv,
+    unpack_layer_kv,
+)
+from repro.model.tensors import KVCache, LayerKV
+
+
+def _make_cache(n_tokens=6, n_layers=3, n_kv_heads=2, head_dim=4, seed=0) -> KVCache:
+    rng = np.random.default_rng(seed)
+    layers = [
+        LayerKV(
+            rng.normal(size=(n_tokens, n_kv_heads, head_dim)).astype(np.float32),
+            rng.normal(size=(n_tokens, n_kv_heads, head_dim)).astype(np.float32),
+        )
+        for _ in range(n_layers)
+    ]
+    return KVCache(layers, np.arange(n_tokens), np.arange(3, 3 + n_tokens))
+
+
+class TestRawFormatRoundTrip:
+    def test_round_trip_preserves_structure_and_values(self):
+        cache = _make_cache()
+        restored = deserialize_kv(serialize_kv(cache))
+        assert restored.n_layers == cache.n_layers
+        assert restored.n_tokens == cache.n_tokens
+        assert np.array_equal(restored.token_ids, cache.token_ids)
+        assert np.array_equal(restored.positions, cache.positions)
+        for layer, ref in zip(restored.layers, cache.layers):
+            # The payload is fp16; values round-trip to fp16 precision.
+            assert np.allclose(layer.keys, ref.keys, rtol=1e-2, atol=1e-2)
+            assert np.allclose(layer.values, ref.values, rtol=1e-2, atol=1e-2)
+
+    def test_payload_upcasts_to_float32_not_float64(self):
+        restored = deserialize_kv(serialize_kv(_make_cache()))
+        for layer in restored.layers:
+            assert layer.keys.dtype == np.float32
+            assert layer.values.dtype == np.float32
+
+    def test_no_zip_container(self):
+        """The v2 payload is raw bytes — no np.savez zip archive inside."""
+        payload = serialize_kv(_make_cache())
+        assert payload.startswith(b"RPKV2\n")
+        assert b"PK\x03\x04" not in payload  # zip local-file-header magic
+
+    def test_header_describes_shapes(self):
+        payload = serialize_kv(_make_cache(n_tokens=5, n_layers=2, n_kv_heads=3))
+        header_len = int.from_bytes(payload[6:10], "little")
+        header = json.loads(payload[10 : 10 + header_len])
+        assert header["n_tokens"] == 5
+        assert header["n_layers"] == 2
+        assert header["n_kv_heads"] == 3
+        assert header["kv_dtype"] == "float16"
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize_kv(b"NOTAKV\x00\x00")
+
+    def test_non_uniform_layer_shapes_rejected(self):
+        layers = [
+            LayerKV(np.ones((4, 2, 4)), np.ones((4, 2, 4))),
+            LayerKV(np.ones((4, 1, 8)), np.ones((4, 1, 8))),
+        ]
+        cache = KVCache(layers, np.arange(4), np.arange(4))
+        with pytest.raises(ValueError, match="uniform layer shapes"):
+            serialize_kv(cache)
+
+    def test_unknown_kv_dtype_rejected(self):
+        payload = bytearray(serialize_kv(_make_cache()))
+        header_len = int.from_bytes(payload[6:10], "little")
+        header = json.loads(payload[10 : 10 + header_len])
+        header["kv_dtype"] = "int8"
+        new_header = json.dumps(header).encode("utf-8")
+        rebuilt = (
+            bytes(payload[:6])
+            + len(new_header).to_bytes(4, "little")
+            + new_header
+            + bytes(payload[10 + header_len :])
+        )
+        with pytest.raises(ValueError, match="kv_dtype"):
+            deserialize_kv(rebuilt)
+
+    def test_file_round_trip(self, tmp_path):
+        cache = _make_cache()
+        path = tmp_path / "cache.rpkv"
+        nbytes = save_kv(cache, str(path))
+        assert path.stat().st_size == nbytes
+        restored = load_kv(str(path))
+        assert restored.n_tokens == cache.n_tokens
+
+
+class TestLayerPayloads:
+    def test_pack_unpack_round_trip(self):
+        layer = _make_cache(n_layers=1).layers[0]
+        blob = pack_layer_kv(layer)
+        restored = unpack_layer_kv(blob, layer.n_tokens, 2, 4)
+        assert np.allclose(restored.keys, layer.keys, rtol=1e-2, atol=1e-2)
+        assert np.allclose(restored.values, layer.values, rtol=1e-2, atol=1e-2)
+
+    def test_blob_size_is_exactly_fp16_payload(self):
+        layer = _make_cache(n_layers=1).layers[0]
+        blob = pack_layer_kv(layer)
+        assert len(blob) == 2 * layer.keys.size * 2  # K and V, 2 bytes each
+
+
+class TestLegacyFormat:
+    def _legacy_payload(self, cache: KVCache) -> bytes:
+        """Re-create the RPKV1 (np.savez) wire format the old code wrote."""
+        buffer = io.BytesIO()
+        buffer.write(b"RPKV1\n")
+        header = json.dumps(
+            {"n_layers": cache.n_layers, "n_tokens": cache.n_tokens}
+        ).encode("utf-8")
+        buffer.write(len(header).to_bytes(4, "little"))
+        buffer.write(header)
+        arrays = {
+            "token_ids": cache.token_ids.astype(np.int64),
+            "positions": cache.positions.astype(np.int64),
+        }
+        for i, layer in enumerate(cache.layers):
+            arrays[f"k{i}"] = layer.keys.astype(np.float16)
+            arrays[f"v{i}"] = layer.values.astype(np.float16)
+        np.savez(buffer, **arrays)
+        return buffer.getvalue()
+
+    def test_v1_still_readable(self):
+        cache = _make_cache()
+        restored = deserialize_kv(self._legacy_payload(cache))
+        assert restored.n_layers == cache.n_layers
+        assert np.array_equal(restored.token_ids, cache.token_ids)
+        for layer, ref in zip(restored.layers, cache.layers):
+            assert np.allclose(layer.keys, ref.keys, rtol=1e-2, atol=1e-2)
