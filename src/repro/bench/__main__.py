@@ -75,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="request scheduler (continuous batching by default)",
     )
     parser.add_argument("--max-batch-tokens", type=int, default=16_384)
+    parser.add_argument(
+        "--no-overlap-loads", action="store_true",
+        help="disable cross-request load/compute pipelining in the "
+        "continuous scheduler (it is on by default)",
+    )
     parser.add_argument("--zipf-alpha", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -102,6 +107,7 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         n_servers=args.n_servers,
         scheduler=args.scheduler,
         max_batch_tokens=args.max_batch_tokens,
+        overlap_loads=not args.no_overlap_loads,
         zipf_alpha=args.zipf_alpha,
         seed=args.seed,
     )

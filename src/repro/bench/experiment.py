@@ -6,8 +6,11 @@ per sweep cell, schedules it with FCFS or continuous batching, and aggregates
 the serving metrics the paper reports: TTFT percentiles, throughput, queueing
 delay, GPU utilisation and the fraction of prefill compute actually spent
 (recompute fraction).  Optionally a small :class:`~repro.core.blend_engine.
-BlendEngine` probe runs the real NumPy fusion pipeline to attach measured
-recompute fractions and KV-store hit rates to the report.
+BlendEngine` probe runs the real NumPy fusion pipeline — *pipelined*, through
+the executor, with cross-request overlap — to attach measured trace-derived
+TTFTs (reported beside the analytic estimates), measured recompute fractions
+and KV-store hit rates to the report; its traces calibrate the measured TTFT
+column of every CacheBlend sweep cell.
 
 Quality is attached per scheme as a static score calibrated to the paper's
 accuracy results (§6.2): full recompute and prefix caching are exact,
@@ -26,7 +29,7 @@ import numpy as np
 from repro.bench.workload import WorkloadGenerator
 from repro.kvstore.device import get_device
 from repro.model.config import get_config
-from repro.serving.costmodel import ServingCostModel
+from repro.serving.costmodel import OnlineCostCalibration, ServingCostModel
 from repro.serving.engine import SCHEMES, InferenceEngine
 from repro.serving.request import GenerationRequest, RequestTiming
 from repro.serving.scheduler import (
@@ -63,6 +66,9 @@ class ExperimentConfig:
     scheduler: str = "continuous"
     max_batch_tokens: int = 16_384
     prefill_chunk_tokens: int = 512
+    #: Cross-request load/compute pipelining in the continuous scheduler
+    #: (hide one request's KV-loading stalls behind co-batched compute).
+    overlap_loads: bool = True
     n_unique_chunks: int = 400
     zipf_alpha: float = 1.0
     cache_chunk_capacity: int = 160
@@ -108,6 +114,9 @@ class CellResult:
     mean_recomputed_fraction: float
     quality: float
     quality_adjusted_ttft: float
+    #: Mean trace-calibrated (measured) pipeline delay beside the analytic
+    #: ``mean_ttft_service`` — CacheBlend cells under ``--with-proxy`` only.
+    mean_ttft_service_measured: float | None = None
 
     def as_dict(self) -> dict[str, object]:
         return asdict(self)
@@ -138,6 +147,7 @@ class ExperimentRunner:
             n_servers=self.config.n_servers,
             max_batch_tokens=self.config.max_batch_tokens,
             prefill_chunk_tokens=self.config.prefill_chunk_tokens,
+            overlap_loads=self.config.overlap_loads,
         )
 
     def _generate_workload(self) -> tuple[list[GenerationRequest], dict[str, object]]:
@@ -160,9 +170,16 @@ class ExperimentRunner:
         device: str,
         scheme: str,
         recompute_ratio: float,
+        calibration: OnlineCostCalibration | None = None,
     ) -> CellResult:
-        """Serve the shared workload in one sweep cell and aggregate it."""
-        cost_model = ServingCostModel(get_config(model))
+        """Serve the shared workload in one sweep cell and aggregate it.
+
+        With a ready *calibration* (measured per-layer rates from the proxy
+        probe's executor traces), CacheBlend cells additionally report the
+        trace-calibrated ``mean_ttft_service_measured`` beside the analytic
+        estimate.
+        """
+        cost_model = ServingCostModel(get_config(model), calibration=calibration)
         needs_device = scheme in ("full_reuse", "cacheblend")
         engine = InferenceEngine(
             cost_model,
@@ -206,6 +223,7 @@ class ExperimentRunner:
             ),
             quality=quality,
             quality_adjusted_ttft=summary.mean_ttft / quality,
+            mean_ttft_service_measured=summary.mean_ttft_service_measured,
         )
 
     # ------------------------------------------------------------------
@@ -215,7 +233,19 @@ class ExperimentRunner:
         Only ``cacheblend`` actually depends on the recompute ratio; the
         baseline schemes are served once per (model, device) and their cell
         is replicated across ratios so every comparison row stays complete.
+
+        With ``with_proxy`` the measured probe runs *first*: it executes the
+        real pipelined fusion (cross-request) and its traces calibrate an
+        :class:`~repro.serving.costmodel.OnlineCostCalibration` that every
+        CacheBlend cell then uses to report measured TTFT beside the
+        analytic estimate.
         """
+        calibration: OnlineCostCalibration | None = None
+        proxy: dict[str, object] | None = None
+        if with_proxy:
+            calibration = OnlineCostCalibration()
+            proxy = run_proxy_probe(seed=self.config.seed, calibration=calibration)
+
         requests, workload_stats = self._generate_workload()
         cells: list[CellResult] = []
         for model in self.config.models:
@@ -226,20 +256,19 @@ class ExperimentRunner:
                     for ratio in self.config.recompute_ratios:
                         if ratio_dependent or base_cell is None:
                             base_cell = self.run_cell(
-                                requests, model, device, scheme, ratio
+                                requests, model, device, scheme, ratio,
+                                calibration=calibration,
                             )
                             cells.append(base_cell)
                         else:
                             cells.append(replace(base_cell, recompute_ratio=ratio))
-        report = ExperimentReport(
+        return ExperimentReport(
             config=self.config,
             workload=workload_stats,
             cells=cells,
             comparisons=build_comparisons(cells),
+            proxy=proxy,
         )
-        if with_proxy:
-            report.proxy = run_proxy_probe(seed=self.config.seed)
-        return report
 
 
 def build_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
@@ -285,21 +314,31 @@ def build_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
     return comparisons
 
 
-def run_proxy_probe(seed: int = 0) -> dict[str, object]:
-    """Tiny end-to-end run of the real fusion pipeline (NumPy proxy model).
+def run_proxy_probe(
+    seed: int = 0, calibration: OnlineCostCalibration | None = None
+) -> dict[str, object]:
+    """End-to-end run of the real fusion pipeline (NumPy proxy model).
 
-    Serves two requests over a shared chunk set through
-    :meth:`~repro.core.blend_engine.BlendEngine.run_batch` and reports the
-    measured per-layer recompute fraction and KV-store hit accounting.  It
-    grounds the analytical sweep in the actual CacheBlend numerics, and runs
-    the same fusion through the :class:`~repro.core.executor.
-    PipelinedExecutor` with ``pipelined`` on and off to attach a *measured*
-    (wall-clock, not modeled) pipeline speedup.
+    Serves a small batch over a shared chunk set through
+    :meth:`~repro.core.blend_engine.BlendEngine.run_batch` with
+    ``execution="pipelined"`` — every request goes through the
+    :class:`~repro.core.executor.PipelinedExecutor` with cross-request
+    pipelining and carries a *measured* trace-derived TTFT, reported beside
+    the analytical estimate.  The traces feed *calibration* (shared with the
+    sweep cells when the runner passes one in).
+
+    Also measures, on profile-sized synthetic caches at the calibrated
+    load≈compute operating point, the single-request pipelined-vs-sequential
+    fuse speedup and the cross-request batch makespan against the
+    load-then-compute-in-turn baseline.
     """
     from repro.bench.profile import measure_pipeline_speedup
     from repro.core.blend_engine import BlendEngine
+    from repro.core.executor import PipelinedExecutor
 
-    engine = BlendEngine.build(paper_model="Mistral-7B", device="cpu_ram", seed=seed)
+    engine = BlendEngine.build(
+        paper_model="Mistral-7B", device="cpu_ram", seed=seed, calibration=calibration
+    )
     chunks = [
         "retrieval augmented generation feeds reused text chunks to the model",
         "the kv cache of each chunk can be precomputed offline and stored",
@@ -311,7 +350,7 @@ def run_proxy_probe(seed: int = 0) -> dict[str, object]:
         (chunks[:2], "what does cacheblend recompute?"),
         (chunks[1:], "where are kv caches stored?"),
     ]
-    results = engine.run_batch(batch)
+    results = engine.run_batch(batch, execution="pipelined")
 
     # Measured load/compute pipelining: the text chunks above are only a few
     # tokens (per-layer compute well under the sleep/thread granularity), so
@@ -329,14 +368,41 @@ def run_proxy_probe(seed: int = 0) -> dict[str, object]:
         engine.model, engine.fusor.config, chunk_caches, suffix_ids, repeats=2
     )
 
+    # Cross-request pipelining at the same calibrated operating point: a
+    # queue of identical requests, pipelined (loader runs ahead into the next
+    # request) vs strictly in turn.
+    batch_executor = PipelinedExecutor(
+        engine.model, engine.fusor.config, layer_load_time=measurement.layer_load_time
+    )
+    items = [(chunk_caches, suffix_ids)] * 3
+    batch_pipelined = batch_executor.execute_batch(items, pipelined=True)
+    batch_sequential = batch_executor.execute_batch(items, pipelined=False)
+
+    cost_model = engine.controller.cost_model
     return {
         "paper_model": "Mistral-7B",
+        "execution": "pipelined",
         "n_requests": len(results),
         "mean_recompute_fraction": float(
             np.mean([r.fusion.mean_recompute_fraction for r in results])
         ),
         "recompute_ratios_decided": [r.decision.recompute_ratio for r in results],
-        "estimated_ttfts": [r.ttft for r in results],
+        "estimated_ttfts": [r.ttft_estimate for r in results],
+        "measured_ttfts": [r.measured_ttft for r in results],
+        "measured_stall_s": [r.measured_stall for r in results],
         "cache": engine.cache_stats,
         "executor": measurement.as_dict(),
+        "batch": {
+            "n_requests": len(items),
+            "pipelined_makespan_s": batch_pipelined.makespan,
+            "sequential_makespan_s": batch_sequential.makespan,
+            "cross_request_speedup": (
+                batch_sequential.makespan / batch_pipelined.makespan
+                if batch_pipelined.makespan > 0
+                else float("inf")
+            ),
+        },
+        "calibration": (
+            cost_model.calibration.as_dict() if cost_model.calibration else None
+        ),
     }

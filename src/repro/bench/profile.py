@@ -43,6 +43,7 @@ _REQUIRED_OPS = (
     "chunk_prefill",
     "fuse_sequential",
     "fuse_pipelined",
+    "serve_pipelined",
     "serialize_kv",
     "deserialize_kv",
 )
@@ -175,6 +176,49 @@ def measure_pipeline_speedup(
     )
 
 
+def _measure_served_ttfts(
+    model: TransformerModel, config: "ProfileConfig"
+) -> list[float]:
+    """Measured serving TTFTs of warm pipelined requests through BlendEngine.
+
+    Builds a serving stack around the profile's proxy *model* (word-level
+    tokenizer, cpu_ram-backed store, loading controller) and serves the same
+    request ``config.repeats`` times with ``execution="pipelined"``, after one
+    cold warmup that populates the store.  Each sample is a trace-derived
+    wall-clock TTFT — the end-to-end measured serving number the baseline
+    gate regresses on, one level above the bare fuse timings.
+    """
+    from repro.core.blend_engine import BlendEngine
+    from repro.core.controller import LoadingController
+    from repro.kvstore.device import get_device
+    from repro.kvstore.store import KVCacheStore
+    from repro.serving.costmodel import GPUSpec, OnlineCostCalibration, ServingCostModel
+    from repro.tokenizer.tokenizer import Tokenizer
+
+    cost_model = ServingCostModel(
+        model.config, GPUSpec(), calibration=OnlineCostCalibration()
+    )
+    engine = BlendEngine(
+        model=model,
+        tokenizer=Tokenizer(vocab_size=model.config.vocab_size),
+        kv_store=KVCacheStore(device=get_device("cpu_ram")),
+        controller=LoadingController(cost_model, min_quality_ratio=config.recompute_ratio),
+        fusor_config=FusorConfig(recompute_ratio=config.recompute_ratio),
+    )
+    chunks = [
+        " ".join(f"w{chunk}x{i}" for i in range(config.chunk_tokens))
+        for chunk in range(config.n_chunks)
+    ]
+    question = " ".join(f"q{i}" for i in range(config.suffix_tokens))
+    engine.precompute_chunks(chunks)
+    for _ in range(config.warmup):
+        engine.run(chunks, question, execution="pipelined")
+    return [
+        engine.run(chunks, question, execution="pipelined").measured_ttft
+        for _ in range(config.repeats)
+    ]
+
+
 def run_profile(config: ProfileConfig | None = None) -> dict[str, object]:
     """Run the profile workload and return the report document."""
     config = config or ProfileConfig()
@@ -216,6 +260,9 @@ def run_profile(config: ProfileConfig | None = None) -> dict[str, object]:
     )
     ops["fuse_sequential"] = _stats([r.total_time for r in measurement.sequential_runs])
     ops["fuse_pipelined"] = _stats([r.total_time for r in measurement.pipelined_runs])
+
+    # ---- measured serving TTFT (workload -> engine -> executor) ----------
+    ops["serve_pipelined"] = _stats(_measure_served_ttfts(model, config))
 
     return {
         "schema_version": PROFILE_SCHEMA_VERSION,
@@ -287,14 +334,16 @@ def check_against_baseline(
     document: dict[str, object],
     baseline: dict[str, object],
     max_regression: float = 2.0,
-    ops: tuple[str, ...] = ("fuse_sequential", "fuse_pipelined"),
+    ops: tuple[str, ...] = ("fuse_sequential", "fuse_pipelined", "serve_pipelined"),
 ) -> list[str]:
     """Compare *document* against a checked-in *baseline*; returns failures.
 
     An op fails when its best (min) wall-clock exceeds ``max_regression``
     times the baseline's.  Minimums are compared so scheduler noise on shared
     CI runners doesn't trip the gate; ``max_regression`` absorbs hardware
-    differences between the baseline machine and the runner.
+    differences between the baseline machine and the runner.  Gated ops are
+    the fuse wall-clocks *and* the measured end-to-end serving TTFT
+    (``serve_pipelined``); ops absent from an older baseline are skipped.
     """
     failures: list[str] = []
     base_ops = baseline.get("ops", {})

@@ -123,4 +123,21 @@ def format_summary(document: dict[str, object]) -> str:
             f"{row.get('full_reuse_quality_adjusted_ttft', float('nan')):>14.3f} "
             f"{row.get('speedup_vs_full_recompute', float('nan')):>7.2f}x"
         )
+    proxy = document.get("proxy")
+    if proxy and proxy.get("measured_ttfts"):
+        measured = proxy["measured_ttfts"]
+        estimated = proxy.get("estimated_ttfts", [])
+        lines.append(
+            "proxy (pipelined executor, measured): "
+            f"TTFT {', '.join(f'{t * 1e3:.1f}' for t in measured)} ms "
+            f"vs analytic estimate {', '.join(f'{t * 1e3:.1f}' for t in estimated)} ms"
+        )
+        batch = proxy.get("batch")
+        if batch:
+            lines.append(
+                f"cross-request pipelining ({batch['n_requests']} requests): "
+                f"makespan {batch['pipelined_makespan_s'] * 1e3:.1f} ms vs "
+                f"{batch['sequential_makespan_s'] * 1e3:.1f} ms sequential "
+                f"({batch['cross_request_speedup']:.2f}x)"
+            )
     return "\n".join(lines)

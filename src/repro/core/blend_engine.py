@@ -2,38 +2,77 @@
 
 The engine ties together the tokenizer, the runnable proxy transformer (for
 KV fusion and deviation measurement), the KV cache store, the loading
-controller and the analytical serving cost model (for TTFT estimates on the
-paper's real model architectures).
+controller and the serving cost model (for TTFT estimates on the paper's
+real model architectures).
+
+Two execution modes serve a request:
+
+* ``execution="analytic"`` (default) fuses through the in-memory fusor and
+  *estimates* TTFT with the analytical cost model — fast, deterministic,
+  device-parameterised;
+* ``execution="pipelined"`` routes the fuse through the
+  :class:`~repro.core.executor.PipelinedExecutor`: each layer's KV streams
+  off the (simulated) storage device on a background thread while earlier
+  layers recompute, and the request carries a *measured*
+  :class:`~repro.core.pipeline.PipelineTrace` whose load/compute/stall spans
+  are wall-clock facts.  ``run_batch`` additionally pipelines *across*
+  requests — request B's layer 0 loads while request A's tail layers
+  recompute.  Measured spans feed the cost model's
+  :class:`~repro.serving.costmodel.OnlineCostCalibration` so scheduler cost
+  estimates track observed rates.
+
+Both modes run identical fusor numerics over identical store bytes, so the
+fused KV is bitwise-equal between them.
 
 Typical use::
 
     engine = BlendEngine.build(paper_model="Mistral-7B", device="nvme_ssd")
     engine.precompute_chunks(["chunk one text ...", "chunk two text ..."])
     result = engine.run(["chunk one text ...", "chunk two text ..."],
-                        question="who proposed using RAG?")
-    print(result.ttft, result.fusion.mean_recompute_fraction)
+                        question="who proposed using RAG?",
+                        execution="pipelined")
+    print(result.ttft, result.trace.stall_time)
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.controller import ControllerDecision, LoadingController
+from repro.core.executor import PipelinedExecutor
 from repro.core.fusor import FusionResult, FusorConfig, KVFusor
+from repro.core.pipeline import PipelineTrace
 from repro.kvstore.device import StorageDevice, get_device
+from repro.kvstore.serialization import quantize_kv_to_store_dtype
 from repro.kvstore.store import KVCacheStore, chunk_key
 from repro.model.config import PAPER_MODEL_PAIRS, ModelConfig, get_config
 from repro.model.transformer import TransformerModel
-from repro.serving.costmodel import GPUSpec, ServingCostModel
+from repro.serving.costmodel import GPUSpec, OnlineCostCalibration, ServingCostModel
 from repro.tokenizer.tokenizer import Tokenizer
+
+#: Supported request execution modes.
+EXECUTION_MODES = ("analytic", "pipelined")
 
 
 @dataclass
 class BlendResult:
-    """Outcome of answering one request through CacheBlend."""
+    """Outcome of answering one request through CacheBlend.
+
+    ``ttft`` is the headline time-to-first-token: the *measured* (trace
+    derived) wall-clock under ``execution="pipelined"``, the analytical
+    estimate under ``execution="analytic"``.  ``ttft_estimate`` always
+    carries the analytical estimate so the two can be compared side by side;
+    ``measured_ttft``/``trace`` are populated by the pipelined path only.
+
+    ``cache_stats`` is this request's *own* hit/miss accounting (KV store and
+    tokenizer), counted locally while the request executed — it never reads
+    the engine-global counters, so results from concurrent or interleaved
+    batches cannot cross-contaminate.
+    """
 
     fusion: FusionResult
     ttft: float
@@ -43,10 +82,39 @@ class BlendResult:
     generated_ids: list[int] = field(default_factory=list)
     n_context_tokens: int = 0
     n_suffix_tokens: int = 0
+    execution: str = "analytic"
+    ttft_estimate: float = 0.0
+    measured_ttft: float | None = None
+    #: Measured load-wait inside this request's pipeline (queueing behind
+    #: earlier batch requests excluded); pipelined mode only.
+    measured_stall: float | None = None
+    trace: PipelineTrace | None = None
+    cache_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def n_total_tokens(self) -> int:
         return self.n_context_tokens + self.n_suffix_tokens
+
+
+@dataclass
+class _RequestInputs:
+    """One request's gathered inputs plus its locally-counted statistics."""
+
+    chunk_caches: list
+    suffix_ids: np.ndarray
+    context_tokens: int
+    miss_tokens: int
+    #: Measured wall-clock spent prefilling cold chunks for this request.
+    miss_prefill_s: float
+    stats: dict[str, int]
+
+    @property
+    def hits(self) -> int:
+        return self.stats["hits"]
+
+    @property
+    def misses(self) -> int:
+        return self.stats["misses"]
 
 
 class _EncodingCache:
@@ -100,7 +168,13 @@ class BlendEngine:
         fusor_config: FusorConfig | None = None,
         timing_model: ModelConfig | None = None,
         encoding_cache_size: int = 1024,
+        execution: str = "analytic",
+        executor: PipelinedExecutor | None = None,
     ) -> None:
+        if execution not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {execution!r}; expected one of {EXECUTION_MODES}"
+            )
         self.model = model
         self.tokenizer = tokenizer
         self.kv_store = kv_store
@@ -108,6 +182,12 @@ class BlendEngine:
         self.fusor = KVFusor(model, fusor_config or FusorConfig())
         #: Architecture used for the TTFT estimates (defaults to the proxy).
         self.timing_model = timing_model or model.config
+        #: Default execution mode of :meth:`run`/:meth:`run_batch`.
+        self.execution = execution
+        #: The measured serving path; shares the store's device model.
+        self.executor = executor or PipelinedExecutor(
+            model, self.fusor.config, device=kv_store.device
+        )
         self._encodings = _EncodingCache(capacity=encoding_cache_size)
 
     # ------------------------------------------------------------------
@@ -119,11 +199,21 @@ class BlendEngine:
         Returns a read-only int64 array shared across requests; copy before
         mutating.
         """
-        ids = self._encodings.get(text)
-        if ids is None:
-            ids = np.asarray(self.tokenizer.encode(text), dtype=np.int64)
-            self._encodings.put(text, ids)
+        ids, _ = self._encode(text)
         return ids
+
+    def _encode(self, text: str) -> tuple[np.ndarray, bool]:
+        """Memoized encode returning ``(ids, was_cache_hit)``.
+
+        The hit flag lets callers count per-request tokenizer statistics
+        locally instead of diffing the engine-global counters.
+        """
+        ids = self._encodings.get(text)
+        if ids is not None:
+            return ids, True
+        ids = np.asarray(self.tokenizer.encode(text), dtype=np.int64)
+        self._encodings.put(text, ids)
+        return ids, False
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -138,12 +228,17 @@ class BlendEngine:
         n_gpus: int | None = None,
         store_capacity_bytes: int | None = None,
         vocab_size: int | None = None,
+        execution: str = "analytic",
+        calibration: OnlineCostCalibration | None = None,
     ) -> "BlendEngine":
         """Build an engine for one of the paper's evaluated models.
 
         ``paper_model`` must be one of ``Mistral-7B``, ``Yi-34B`` or
         ``Llama-70B``; the proxy configuration runs the actual NumPy forward
         pass while the corresponding architecture preset drives the timing.
+        ``calibration`` (one is created by default) accumulates the measured
+        per-layer rates of every pipelined run; pass a shared instance to
+        feed one calibration from several engines.
         """
         if paper_model not in PAPER_MODEL_PAIRS:
             known = ", ".join(sorted(PAPER_MODEL_PAIRS))
@@ -166,7 +261,12 @@ class BlendEngine:
             dtype_bytes=timing_config.dtype_bytes,
             capacity_bytes=store_capacity_bytes,
         )
-        cost_model = ServingCostModel(timing_config, GPUSpec(), n_gpus=n_gpus)
+        cost_model = ServingCostModel(
+            timing_config,
+            GPUSpec(),
+            n_gpus=n_gpus,
+            calibration=calibration or OnlineCostCalibration(),
+        )
         controller = LoadingController(cost_model, min_quality_ratio=recompute_ratio)
         return cls(
             model=model,
@@ -175,6 +275,7 @@ class BlendEngine:
             controller=controller,
             fusor_config=FusorConfig(recompute_ratio=recompute_ratio),
             timing_model=timing_config,
+            execution=execution,
         )
 
     # ------------------------------------------------------------------
@@ -184,14 +285,19 @@ class BlendEngine:
         return chunk_key(token_ids, model_name=self.model.config.name)
 
     def precompute_chunk(self, text: str) -> str:
-        """Tokenize, prefill and store one chunk; returns its cache key."""
+        """Tokenize, prefill and store one chunk; returns its cache key.
+
+        The stored cache is round-tripped through the fp16 store dtype, so
+        what the in-memory fusion path sees is bit-identical to what the
+        executor's byte-level load path decodes.
+        """
         token_ids = self.encode(text)
         if token_ids.size == 0:
             raise ValueError("cannot precompute an empty chunk")
         key = self.chunk_cache_key(token_ids)
         if not self.kv_store.contains(key):
             cache = self.model.chunk_prefill(token_ids, start_position=0)
-            self.kv_store.put(key, cache)
+            self.kv_store.put(key, quantize_kv_to_store_dtype(cache))
         return key
 
     def precompute_chunks(self, texts: list[str]) -> list[str]:
@@ -201,20 +307,20 @@ class BlendEngine:
     # ------------------------------------------------------------------
     # Request execution
     # ------------------------------------------------------------------
-    def run(
-        self,
-        chunk_texts: list[str],
-        question: str,
-        recompute_ratio: float | None = None,
-        max_new_tokens: int = 0,
-        candidate_devices: list[StorageDevice] | None = None,
-    ) -> BlendResult:
-        """Answer one request whose input is *chunk_texts* followed by *question*.
+    def _resolve_execution(self, execution: str | None) -> str:
+        mode = self.execution if execution is None else execution
+        if mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+            )
+        return mode
 
-        Chunks missing from the KV store are prefilled on the fly (counted as
-        misses, and charged as full prefill in the TTFT estimate, exactly like
-        a cold chunk would be in the real system) and inserted for future
-        requests.
+    def _gather_request(self, chunk_texts: list[str], question: str) -> _RequestInputs:
+        """Resolve one request's chunk caches, counting its stats locally.
+
+        Chunks missing from the KV store are prefilled on the fly (the
+        measured wall-clock is recorded in ``miss_prefill_s``) and inserted
+        for future requests, exactly like a cold chunk in the real system.
         """
         if not chunk_texts:
             raise ValueError("run() needs at least one context chunk")
@@ -222,40 +328,95 @@ class BlendEngine:
             raise ValueError("run() needs a non-empty question")
 
         chunk_caches = []
-        hits = 0
-        misses = 0
-        miss_tokens = 0
+        stats = {
+            "hits": 0,
+            "misses": 0,
+            "miss_tokens": 0,
+            "tokenizer_hits": 0,
+            "tokenizer_misses": 0,
+        }
         context_tokens = 0
+        miss_prefill_s = 0.0
         for text in chunk_texts:
-            token_ids = self.encode(text)
+            token_ids, encoded_hit = self._encode(text)
+            stats["tokenizer_hits" if encoded_hit else "tokenizer_misses"] += 1
             context_tokens += int(token_ids.size)
             key = self.chunk_cache_key(token_ids)
             cached = self.kv_store.get(key)
             if cached is None:
-                misses += 1
-                miss_tokens += int(token_ids.size)
-                cached = self.model.chunk_prefill(token_ids, start_position=0)
+                stats["misses"] += 1
+                stats["miss_tokens"] += int(token_ids.size)
+                start = time.perf_counter()
+                cached = quantize_kv_to_store_dtype(
+                    self.model.chunk_prefill(token_ids, start_position=0)
+                )
+                miss_prefill_s += time.perf_counter() - start
                 self.kv_store.put(key, cached)
             else:
-                hits += 1
+                stats["hits"] += 1
             chunk_caches.append(cached)
 
-        suffix_ids = self.encode(question)
+        suffix_ids, suffix_hit = self._encode(question)
+        stats["tokenizer_hits" if suffix_hit else "tokenizer_misses"] += 1
+        return _RequestInputs(
+            chunk_caches=chunk_caches,
+            suffix_ids=suffix_ids,
+            context_tokens=context_tokens,
+            miss_tokens=stats["miss_tokens"],
+            miss_prefill_s=miss_prefill_s,
+            stats=stats,
+        )
 
+    def _executor_for(self, device: StorageDevice) -> PipelinedExecutor:
+        """The engine's executor, re-targeted when the controller picked a
+        different storage device than the KV store's (``candidate_devices``):
+        the measured transfer delays must simulate the device the analytic
+        estimate beside them is priced at."""
+        if device.name == self.executor.device.name:
+            return self.executor
+        return PipelinedExecutor(self.model, self.fusor.config, device=device)
+
+    def _decide(self, inputs: _RequestInputs, recompute_ratio, candidate_devices):
         decision = self.controller.decide(
-            n_context_tokens=context_tokens,
-            n_suffix_tokens=int(suffix_ids.size),
+            n_context_tokens=inputs.context_tokens,
+            n_suffix_tokens=int(inputs.suffix_ids.size),
             devices=candidate_devices,
             device=None if candidate_devices else self.kv_store.device,
         )
-        ratio = recompute_ratio if recompute_ratio is not None else decision.recompute_ratio
-
-        fusion = self.fusor.fuse(chunk_caches, suffix_ids, recompute_ratio=ratio)
-
-        ttft = self._estimate_ttft(
-            context_tokens, int(suffix_ids.size), miss_tokens, ratio, decision.device
+        ratio = (
+            recompute_ratio if recompute_ratio is not None else decision.recompute_ratio
         )
+        return decision, ratio
 
+    def _observe(self, trace: PipelineTrace, inputs: _RequestInputs, fusion) -> None:
+        """Feed one measured trace into the cost model's online calibration."""
+        calibration = self.controller.cost_model.calibration
+        if calibration is not None:
+            calibration.observe(
+                trace,
+                n_context_tokens=inputs.context_tokens,
+                recompute_counts=fusion.recompute_counts,
+            )
+
+    def _finish(
+        self,
+        inputs: _RequestInputs,
+        fusion: FusionResult,
+        decision: ControllerDecision,
+        ratio: float,
+        mode: str,
+        max_new_tokens: int,
+        measured_ttft: float | None = None,
+        measured_stall: float | None = None,
+        trace: PipelineTrace | None = None,
+    ) -> BlendResult:
+        ttft_estimate = self._estimate_ttft(
+            inputs.context_tokens,
+            int(inputs.suffix_ids.size),
+            inputs.miss_tokens,
+            ratio,
+            decision.device,
+        )
         generated: list[int] = []
         if max_new_tokens > 0:
             generated = self.model.generate(
@@ -264,17 +425,68 @@ class BlendEngine:
                 max_new_tokens=max_new_tokens,
                 eos_id=self.tokenizer.eos_id,
             )
-
         return BlendResult(
             fusion=fusion,
-            ttft=ttft,
+            ttft=measured_ttft if measured_ttft is not None else ttft_estimate,
             decision=decision,
-            cache_hits=hits,
-            cache_misses=misses,
+            cache_hits=inputs.hits,
+            cache_misses=inputs.misses,
             generated_ids=generated,
-            n_context_tokens=context_tokens,
-            n_suffix_tokens=int(suffix_ids.size),
+            n_context_tokens=inputs.context_tokens,
+            n_suffix_tokens=int(inputs.suffix_ids.size),
+            execution=mode,
+            ttft_estimate=ttft_estimate,
+            measured_ttft=measured_ttft,
+            measured_stall=measured_stall,
+            trace=trace,
+            cache_stats=dict(inputs.stats),
         )
+
+    def run(
+        self,
+        chunk_texts: list[str],
+        question: str,
+        recompute_ratio: float | None = None,
+        max_new_tokens: int = 0,
+        candidate_devices: list[StorageDevice] | None = None,
+        execution: str | None = None,
+    ) -> BlendResult:
+        """Answer one request whose input is *chunk_texts* followed by *question*.
+
+        ``execution`` overrides the engine's default mode for this request:
+        ``"pipelined"`` executes the load/recompute pipeline and returns a
+        measured TTFT (cold-chunk prefill wall-clock included) plus the
+        per-layer :class:`~repro.core.pipeline.PipelineTrace`;
+        ``"analytic"`` estimates TTFT with the cost model as before.
+        """
+        mode = self._resolve_execution(execution)
+        inputs = self._gather_request(chunk_texts, question)
+        decision, ratio = self._decide(inputs, recompute_ratio, candidate_devices)
+
+        if mode == "pipelined":
+            executed = self._executor_for(decision.device).execute(
+                inputs.chunk_caches,
+                inputs.suffix_ids,
+                recompute_ratio=ratio,
+                pipelined=True,
+            )
+            self._observe(executed.trace, inputs, executed.fusion)
+            return self._finish(
+                inputs,
+                executed.fusion,
+                decision,
+                ratio,
+                mode,
+                max_new_tokens,
+                measured_ttft=executed.total_time + inputs.miss_prefill_s,
+                measured_stall=executed.stall_time,
+                trace=executed.trace,
+            )
+
+        fusion = self.fusor.fuse(
+            inputs.chunk_caches, inputs.suffix_ids, recompute_ratio=ratio
+        )
+        return self._finish(inputs, fusion, decision, ratio, mode, max_new_tokens)
 
     # ------------------------------------------------------------------
     # Batch execution (used by the bench subsystem)
@@ -284,23 +496,62 @@ class BlendEngine:
         batch: list[tuple[list[str], str]],
         recompute_ratio: float | None = None,
         max_new_tokens: int = 0,
+        execution: str | None = None,
     ) -> list[BlendResult]:
         """Answer a batch of ``(chunk_texts, question)`` requests in order.
 
         Requests share the engine's KV store, so chunks repeated across the
         batch hit the cache exactly as they would across a request stream;
-        use :attr:`cache_stats` (or :meth:`reset_cache_stats`) to read the
-        resulting hit/miss accounting.
+        each :class:`BlendResult` carries its own locally-counted
+        ``cache_stats`` (the engine-global :attr:`cache_stats` aggregates
+        across requests and batches).
+
+        Under ``execution="pipelined"`` the whole batch runs through
+        :meth:`~repro.core.executor.PipelinedExecutor.execute_batch` with
+        *cross-request* pipelining — while request A's tail layers recompute,
+        request B's layer-0 KV is already streaming off the device — and each
+        result's measured TTFT is its completion offset in the batch
+        (queueing behind earlier requests included).
         """
-        return [
-            self.run(
-                chunk_texts,
-                question,
-                recompute_ratio=recompute_ratio,
-                max_new_tokens=max_new_tokens,
-            )
-            for chunk_texts, question in batch
+        mode = self._resolve_execution(execution)
+        if mode == "analytic":
+            return [
+                self.run(
+                    chunk_texts,
+                    question,
+                    recompute_ratio=recompute_ratio,
+                    max_new_tokens=max_new_tokens,
+                    execution=mode,
+                )
+                for chunk_texts, question in batch
+            ]
+
+        gathered = [
+            self._gather_request(chunk_texts, question) for chunk_texts, question in batch
         ]
+        decisions = [self._decide(inputs, recompute_ratio, None) for inputs in gathered]
+        executed = self.executor.execute_batch(
+            [(inputs.chunk_caches, inputs.suffix_ids) for inputs in gathered],
+            recompute_ratio=[ratio for _, ratio in decisions],
+            pipelined=True,
+        )
+        results: list[BlendResult] = []
+        for inputs, (decision, ratio), request in zip(gathered, decisions, executed):
+            self._observe(request.trace, inputs, request.fusion)
+            results.append(
+                self._finish(
+                    inputs,
+                    request.fusion,
+                    decision,
+                    ratio,
+                    mode,
+                    max_new_tokens,
+                    measured_ttft=request.total_time + inputs.miss_prefill_s,
+                    measured_stall=request.stall_time,
+                    trace=request.trace,
+                )
+            )
+        return results
 
     @property
     def cache_stats(self) -> dict[str, float]:

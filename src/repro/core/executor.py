@@ -45,13 +45,23 @@ from repro.model.transformer import TransformerModel
 
 @dataclass
 class ExecutionResult:
-    """One executed (not modeled) fusion pass plus its measured schedule."""
+    """One executed (not modeled) fusion pass plus its measured schedule.
+
+    Inside a batch (:meth:`PipelinedExecutor.execute_batch`) all trace
+    timestamps share the batch's time origin, so :attr:`total_time` is the
+    request's completion offset in the batch — queueing behind earlier
+    requests included, which is exactly the measured serving delay.
+    """
 
     fusion: FusionResult
     trace: PipelineTrace
     pipelined: bool
     #: Simulated device transfer delay injected per layer (seconds).
     simulated_load_delay: float
+    #: Batch-origin offset at which the compute stream became available to
+    #: this request (the previous request's last compute end; 0 for the
+    #: first / a standalone request).
+    queue_start: float = 0.0
 
     @property
     def load_times(self) -> np.ndarray:
@@ -70,8 +80,64 @@ class ExecutionResult:
 
     @property
     def stall_time(self) -> float:
-        """Measured time compute spent waiting on loads (incl. the first load)."""
-        return self.trace.stall_time
+        """Measured time compute spent waiting on loads (incl. the first load).
+
+        Waiting for earlier requests in a batch is queueing, not stall, so
+        the head wait is measured from :attr:`queue_start`.
+        """
+        return self.trace.stall_time_since(self.queue_start)
+
+
+@dataclass
+class BatchExecutionResult:
+    """A queue of requests executed back to back on one loader/compute pair."""
+
+    requests: list[ExecutionResult]
+    pipelined: bool
+    #: Measured wall-clock from batch start to the last request's completion.
+    makespan: float
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    @property
+    def completion_offsets(self) -> list[float]:
+        """Per-request completion offsets from the batch origin (seconds)."""
+        return [r.total_time for r in self.requests]
+
+
+@dataclass
+class _RequestPlan:
+    """Per-request load state; the packed blobs materialize lazily.
+
+    Layout, positions and the simulated delay are prepared before the batch
+    clock starts, but the raw fp16 blobs — the store's view of the caches —
+    are packed only when the request is about to load (and dropped once its
+    fusion consumed them), so a deep queue never holds every request's bytes
+    at once.
+    """
+
+    layout: FusionLayout
+    chunk_caches: list[KVCache]
+    chunk_positions: list[np.ndarray]
+    delay: float
+    recompute_ratio: float | None
+    blobs: list[list[bytes]] | None = None
+
+    def materialize(self, n_layers: int) -> None:
+        """Pack the raw fp16 bytes per (layer, chunk) — what serialize_kv
+        would have persisted."""
+        if self.blobs is None:
+            self.blobs = [
+                [pack_layer_kv(cache.layers[i]) for cache in self.chunk_caches]
+                for i in range(n_layers)
+            ]
+
+    def release_blobs(self) -> None:
+        self.blobs = None
 
 
 class _SpanRecorder:
@@ -146,101 +212,193 @@ class PipelinedExecutor:
         :class:`FusionResult` contents (up to float scheduling noise — the
         numerics are deterministic).
         """
-        cfg = self.model.config
-        layout = self.fusor.plan_layout(chunk_caches, suffix_token_ids)
-        for cache in chunk_caches:
-            shape = cache.layers[0].keys.shape
-            if shape[1:] != (cfg.n_kv_heads, cfg.head_dim):
-                raise ValueError(
-                    f"chunk cache KV shape {shape[1:]} does not match model "
-                    f"({cfg.n_kv_heads}, {cfg.head_dim})"
-                )
+        batch = self.execute_batch(
+            [(chunk_caches, suffix_token_ids)],
+            recompute_ratio=recompute_ratio,
+            pipelined=pipelined,
+        )
+        return batch.requests[0]
 
-        # The store's view of the caches: raw fp16 bytes per (layer, chunk),
-        # exactly what serialize_kv would have persisted.
-        blobs: list[list[bytes]] = [
-            [pack_layer_kv(cache.layers[i]) for cache in chunk_caches]
-            for i in range(cfg.n_layers)
+    # ------------------------------------------------------------------
+    def execute_batch(
+        self,
+        items: list[tuple[list[KVCache], np.ndarray]],
+        recompute_ratio: float | list[float | None] | None = None,
+        pipelined: bool = True,
+    ) -> BatchExecutionResult:
+        """Fuse a queue of ``(chunk_caches, suffix_token_ids)`` requests.
+
+        With ``pipelined=True`` one background loader thread streams layers
+        *across request boundaries*: while request ``r``'s tail layers
+        recompute, request ``r+1``'s layer 0 is already loading — the
+        cross-request extension of the paper's §5 pipeline (modeled
+        analytically by :func:`~repro.core.pipeline.cross_request_schedule`).
+        The loader runs at most one request ahead of compute, bounding peak
+        memory to ~two requests' decoded buffers regardless of queue depth.
+        With ``pipelined=False`` every request loads and computes strictly in
+        turn, which is the sequential baseline the batch speedup is reported
+        against.
+
+        ``recompute_ratio`` may be a single value for the whole queue or one
+        value per request.  All returned traces share the batch time origin.
+        """
+        if not items:
+            raise ValueError("execute_batch needs at least one request")
+        if isinstance(recompute_ratio, list):
+            if len(recompute_ratio) != len(items):
+                raise ValueError("need one recompute_ratio per request")
+            ratios = list(recompute_ratio)
+        else:
+            ratios = [recompute_ratio] * len(items)
+
+        plans = [
+            self._plan_request(chunk_caches, suffix_ids, ratio)
+            for (chunk_caches, suffix_ids), ratio in zip(items, ratios)
         ]
-        chunk_positions = [cache.positions for cache in chunk_caches]
-        layer_nbytes = sum(len(b) for b in blobs[0]) if blobs else 0
+        n_layers = self.model.config.n_layers
+        n_requests = len(plans)
+        load_start = [np.zeros(n_layers) for _ in range(n_requests)]
+        load_end = [np.zeros(n_layers) for _ in range(n_requests)]
+        slots: list[list[LayerKV | None]] = [[None] * n_layers for _ in range(n_requests)]
+        ready = [
+            [threading.Event() for _ in range(n_layers)] for _ in range(n_requests)
+        ]
+        load_error: list[BaseException] = []
+
+        origin = time.perf_counter()
+
+        def load_layer(req_idx: int, layer_idx: int) -> None:
+            plan = plans[req_idx]
+            load_start[req_idx][layer_idx] = time.perf_counter() - origin
+            if plan.delay > 0.0:
+                time.sleep(plan.delay)  # simulated device transfer
+            slots[req_idx][layer_idx] = self._decode_layer(
+                plan.blobs[layer_idx], plan.chunk_positions, plan.layout
+            )
+            load_end[req_idx][layer_idx] = time.perf_counter() - origin
+            ready[req_idx][layer_idx].set()
+
+        # Backpressure: the loader may run at most one request ahead of the
+        # compute stream (the §6 double buffer at request granularity), so
+        # peak memory holds ~two requests' packed+decoded buffers, not the
+        # queue's.  ``abort`` stops it promptly if compute fails mid-batch.
+        lookahead = threading.Semaphore(2)
+        abort = threading.Event()
+        thread: threading.Thread | None = None
+        if pipelined:
+
+            def loader() -> None:
+                try:
+                    for req_idx in range(n_requests):
+                        lookahead.acquire()
+                        if abort.is_set():
+                            return
+                        plans[req_idx].materialize(n_layers)
+                        for layer_idx in range(n_layers):
+                            load_layer(req_idx, layer_idx)
+                except BaseException as exc:  # surface in the compute thread
+                    load_error.append(exc)
+                    for events in ready:
+                        for event in events:
+                            event.set()
+
+            thread = threading.Thread(target=loader, name="kv-loader", daemon=True)
+            thread.start()
+
+        results: list[ExecutionResult] = []
+        queue_start = 0.0
+        try:
+            for req_idx, plan in enumerate(plans):
+                if not pipelined:
+                    plan.materialize(n_layers)
+
+                def provider(layer_idx: int, req_idx: int = req_idx) -> LayerKV:
+                    if pipelined:
+                        ready[req_idx][layer_idx].wait()
+                        if load_error:
+                            raise load_error[0]
+                    else:
+                        load_layer(req_idx, layer_idx)
+                    layer = slots[req_idx][layer_idx]
+                    slots[req_idx][layer_idx] = None  # the fusor consumes the buffer
+                    assert layer is not None
+                    return layer
+
+                provider_typed: LayerProvider = provider
+                recorder = _SpanRecorder(n_layers, origin)
+                fusion = self.fusor.fuse_layers(
+                    provider_typed,
+                    plan.layout,
+                    recompute_ratio=plan.recompute_ratio,
+                    recorder=recorder,
+                )
+                plan.release_blobs()  # this request's bytes are consumed
+                lookahead.release()
+                results.append(
+                    ExecutionResult(
+                        fusion=fusion,
+                        trace=PipelineTrace(
+                            load_start=load_start[req_idx],
+                            load_end=load_end[req_idx],
+                            compute_start=recorder.compute_start_at,
+                            compute_end=recorder.compute_end_at,
+                        ),
+                        pipelined=pipelined,
+                        simulated_load_delay=plan.delay,
+                        queue_start=queue_start,
+                    )
+                )
+                queue_start = (
+                    float(recorder.compute_end_at[-1]) if n_layers else queue_start
+                )
+        except BaseException:
+            # Unblock and stop the loader so it neither leaks nor keeps the
+            # remaining queue's buffers alive behind a blocked acquire().
+            abort.set()
+            lookahead.release()
+            raise
+        if thread is not None:
+            thread.join()
+
+        return BatchExecutionResult(
+            requests=results,
+            pipelined=pipelined,
+            makespan=time.perf_counter() - origin,
+        )
+
+    # ------------------------------------------------------------------
+    def _plan_request(
+        self,
+        chunk_caches: list[KVCache],
+        suffix_token_ids: np.ndarray,
+        recompute_ratio: float | None,
+    ) -> _RequestPlan:
+        """Validate one request and plan its layout and simulated delay.
+
+        Validation (layout, KV shapes, ratio) happens here, before any
+        loader thread starts, so a bad request fails fast instead of from a
+        background thread.  The blob bytes themselves materialize lazily
+        when the request is about to load (see :class:`_RequestPlan`).
+        """
+        if recompute_ratio is not None and not 0.0 <= recompute_ratio <= 1.0:
+            raise ValueError("recompute_ratio must be in [0, 1]")
+        layout = self.fusor.plan_layout(chunk_caches, suffix_token_ids)
+        # fp16 K+V bytes of one layer across the request's chunks (what
+        # pack_layer_kv will produce), computable without packing.
+        layer_nbytes = sum(
+            2 * cache.layers[0].keys.size * 2 for cache in chunk_caches
+        )
         delay = (
             self.layer_load_time
             if self.layer_load_time is not None
             else self.device.read_time(layer_nbytes) * self.time_scale
         )
-
-        n_layers = cfg.n_layers
-        load_start = np.zeros(n_layers)
-        load_end = np.zeros(n_layers)
-        slots: list[LayerKV | None] = [None] * n_layers
-        ready = [threading.Event() for _ in range(n_layers)]
-        load_error: list[BaseException] = []
-
-        origin = time.perf_counter()
-        recorder = _SpanRecorder(n_layers, origin)
-
-        def load_layer(layer_idx: int) -> None:
-            load_start[layer_idx] = time.perf_counter() - origin
-            if delay > 0.0:
-                time.sleep(delay)  # simulated device transfer
-            slots[layer_idx] = self._decode_layer(
-                blobs[layer_idx], chunk_positions, layout
-            )
-            load_end[layer_idx] = time.perf_counter() - origin
-            ready[layer_idx].set()
-
-        if pipelined:
-
-            def loader() -> None:
-                try:
-                    for layer_idx in range(n_layers):
-                        load_layer(layer_idx)
-                except BaseException as exc:  # surface in the compute thread
-                    load_error.append(exc)
-                    for event in ready:
-                        event.set()
-
-            thread = threading.Thread(target=loader, name="kv-loader", daemon=True)
-            thread.start()
-
-            def provider(layer_idx: int) -> LayerKV:
-                ready[layer_idx].wait()
-                if load_error:
-                    raise load_error[0]
-                layer = slots[layer_idx]
-                slots[layer_idx] = None  # the fusor consumes the buffer
-                assert layer is not None
-                return layer
-
-        else:
-            thread = None
-
-            def provider(layer_idx: int) -> LayerKV:
-                load_layer(layer_idx)
-                layer = slots[layer_idx]
-                slots[layer_idx] = None
-                assert layer is not None
-                return layer
-
-        provider_typed: LayerProvider = provider
-        fusion = self.fusor.fuse_layers(
-            provider_typed, layout, recompute_ratio=recompute_ratio, recorder=recorder
-        )
-        if thread is not None:
-            thread.join()
-
-        trace = PipelineTrace(
-            load_start=load_start,
-            load_end=load_end,
-            compute_start=recorder.compute_start_at,
-            compute_end=recorder.compute_end_at,
-        )
-        return ExecutionResult(
-            fusion=fusion,
-            trace=trace,
-            pipelined=pipelined,
-            simulated_load_delay=float(delay),
+        return _RequestPlan(
+            layout=layout,
+            chunk_caches=chunk_caches,
+            chunk_positions=[cache.positions for cache in chunk_caches],
+            delay=float(delay),
+            recompute_ratio=recompute_ratio,
         )
 
     # ------------------------------------------------------------------

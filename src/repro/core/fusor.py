@@ -197,7 +197,9 @@ class KVFusor:
         if not chunk_caches:
             raise ValueError("fusion requires at least one chunk cache")
         suffix_token_ids = np.asarray(suffix_token_ids, dtype=np.int64)
-        n_layers = self.model.config.n_layers
+        cfg = self.model.config
+        n_layers = cfg.n_layers
+        kv_shape = (cfg.n_kv_heads, cfg.head_dim)
         offsets: list[int] = []
         offset = 0
         for cache in chunk_caches:
@@ -207,6 +209,11 @@ class KVFusor:
                 )
             if cache.n_tokens == 0:
                 raise ValueError("cannot fuse an empty chunk cache")
+            shape = cache.layers[0].keys.shape[1:]
+            if shape != kv_shape:
+                raise ValueError(
+                    f"chunk cache KV shape {shape} does not match model {kv_shape}"
+                )
             offsets.append(offset)
             offset += cache.n_tokens
         suffix_start = offset

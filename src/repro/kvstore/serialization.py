@@ -69,6 +69,27 @@ def unpack_layer_kv(
     return LayerKV(keys, values)
 
 
+def quantize_kv_to_store_dtype(cache: KVCache) -> KVCache:
+    """Round-trip *cache* through the fp16 store dtype, in memory.
+
+    Returns exactly the cache that persisting with :func:`serialize_kv` and
+    loading again would produce (fp16 payload up-cast to the float32 compute
+    dtype).  :class:`~repro.core.blend_engine.BlendEngine` stores chunk
+    caches through this so its in-memory fusion path and the
+    :class:`~repro.core.executor.PipelinedExecutor`'s byte-level load path
+    see bit-identical KV — the store never silently holds more precision
+    than it is priced (and serialized) at.
+    """
+    layers = [
+        LayerKV(
+            np.asarray(layer.keys, dtype=_KV_DTYPE),
+            np.asarray(layer.values, dtype=_KV_DTYPE),
+        )
+        for layer in cache.layers
+    ]
+    return KVCache(layers, cache.token_ids.copy(), cache.positions.copy())
+
+
 # ----------------------------------------------------------------------
 # Whole-cache serialization
 # ----------------------------------------------------------------------

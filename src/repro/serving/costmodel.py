@@ -18,11 +18,98 @@ the right ballpark so the figures read like the paper's.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.core.pipeline import pipelined_time, sequential_time
+import numpy as np
+
+from repro.core.pipeline import PipelineTrace, pipelined_time, sequential_time
 from repro.kvstore.device import StorageDevice
 from repro.model.config import ModelConfig
+
+
+@dataclass
+class OnlineCostCalibration:
+    """EWMA of *measured* per-layer load/compute rates from executor traces.
+
+    Every pipelined :class:`~repro.core.executor.PipelinedExecutor` run emits
+    a measured :class:`~repro.core.pipeline.PipelineTrace`; feeding those
+    traces here turns the static analytic constants of
+    :class:`ServingCostModel` into an online estimate grounded in observed
+    wall-clock:
+
+    * ``load_s_per_token`` — seconds one layer's KV load takes per context
+      token (simulated transfer + decode + RoPE re-align, measured);
+    * ``compute_s_per_token`` — seconds one layer's selective recompute takes
+      per *recomputed* token (layer 0's full recompute is folded in at its
+      own token count).
+
+    ``alpha`` is the EWMA weight of the newest observation; the first
+    observation seeds the averages directly.
+    """
+
+    alpha: float = 0.25
+    load_s_per_token: float | None = None
+    compute_s_per_token: float | None = None
+    n_observations: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+
+    @property
+    def ready(self) -> bool:
+        """True once at least one trace has been observed."""
+        return self.load_s_per_token is not None and self.compute_s_per_token is not None
+
+    def observe(
+        self,
+        trace: PipelineTrace,
+        n_context_tokens: int,
+        recompute_counts: list[int],
+    ) -> None:
+        """Fold one measured trace into the running per-token averages."""
+        if n_context_tokens <= 0 or trace.load_end.size == 0:
+            return
+        load_per_token = float(
+            np.mean(trace.load_end - trace.load_start) / n_context_tokens
+        )
+        compute_durations = trace.compute_end - trace.compute_start
+        counts = np.asarray(recompute_counts, dtype=np.float64)
+        valid = counts > 0
+        if not valid.any():
+            return
+        compute_per_token = float(
+            np.mean(compute_durations[valid] / counts[valid])
+        )
+        self.load_s_per_token = self._ewma(self.load_s_per_token, load_per_token)
+        self.compute_s_per_token = self._ewma(self.compute_s_per_token, compute_per_token)
+        self.n_observations += 1
+
+    def _ewma(self, current: float | None, sample: float) -> float:
+        if current is None:
+            return sample
+        return (1.0 - self.alpha) * current + self.alpha * sample
+
+    def layer_load_time(self, n_context_tokens: int) -> float:
+        """Measured per-layer KV load delay for *n_context_tokens*."""
+        if self.load_s_per_token is None:
+            raise RuntimeError("calibration has no observations yet")
+        return self.load_s_per_token * max(0, n_context_tokens)
+
+    def layer_compute_time(self, n_recomputed_tokens: float) -> float:
+        """Measured per-layer recompute delay for *n_recomputed_tokens*."""
+        if self.compute_s_per_token is None:
+            raise RuntimeError("calibration has no observations yet")
+        return self.compute_s_per_token * max(0.0, n_recomputed_tokens)
+
+    def as_dict(self) -> dict[str, float | int | None]:
+        """JSON-friendly snapshot for bench reports."""
+        return {
+            "alpha": self.alpha,
+            "load_s_per_token": self.load_s_per_token,
+            "compute_s_per_token": self.compute_s_per_token,
+            "n_observations": self.n_observations,
+        }
 
 
 @dataclass(frozen=True)
@@ -37,11 +124,18 @@ class GPUSpec:
 
 @dataclass
 class ServingCostModel:
-    """Delay estimators for one model served on ``n_gpus`` GPUs."""
+    """Delay estimators for one model served on ``n_gpus`` GPUs.
+
+    When a :class:`OnlineCostCalibration` is attached (and has observed at
+    least one measured executor trace), :meth:`ttft_cacheblend_measured`
+    estimates CacheBlend's pipeline delay from the observed per-layer
+    load/compute rates instead of the static analytic constants.
+    """
 
     model: ModelConfig
-    gpu: GPUSpec = GPUSpec()
+    gpu: GPUSpec = field(default_factory=GPUSpec)
     n_gpus: int = 1
+    calibration: OnlineCostCalibration | None = None
 
     def __post_init__(self) -> None:
         if self.n_gpus < 1:
@@ -180,3 +274,36 @@ class ServingCostModel:
         compute[0] = self.prefill_layer_time(n_tokens)
         total = pipelined_time(load, compute) if pipelined else sequential_time(load, compute)
         return self.gpu.overhead_s + total
+
+    def ttft_cacheblend_measured(
+        self,
+        n_tokens: int,
+        n_suffix: int,
+        ratio: float,
+        pipelined: bool = True,
+    ) -> float:
+        """CacheBlend pipeline delay from *measured* per-layer rates.
+
+        Same per-layer schedule as :meth:`ttft_cacheblend`, but load and
+        compute delays come from the attached :class:`OnlineCostCalibration`
+        (EWMA of executor-trace observations) instead of the analytic
+        device/FLOP constants.  The value is wall-clock-grounded on the
+        machine the traces were measured on — it covers the fused pipeline
+        only (no GPU launch overhead, no decode step), so compare it against
+        the pipeline portion of the analytic estimate, not the end-to-end
+        TTFT.  Raises ``RuntimeError`` when no calibration is attached or it
+        has no observations yet.
+        """
+        if self.calibration is None or not self.calibration.ready:
+            raise RuntimeError("no measured calibration available")
+        if n_tokens <= 0:
+            return 0.0
+        n_context = n_tokens - n_suffix
+        n_recomputed = ratio * n_context + n_suffix
+        load = [self.calibration.layer_load_time(n_context)] * self.model.n_layers
+        compute = [
+            self.calibration.layer_compute_time(n_recomputed)
+        ] * self.model.n_layers
+        # Layer 0 is fully recomputed to seed HKVD selection.
+        compute[0] = self.calibration.layer_compute_time(n_tokens)
+        return pipelined_time(load, compute) if pipelined else sequential_time(load, compute)

@@ -34,6 +34,18 @@ class EngineResult:
     recompute, the suffix share for full reuse, and roughly the recompute
     ratio for CacheBlend.  The experiment runner aggregates it to report how
     much prefill compute each scheme actually spends.
+
+    ``stall_time`` is the part of ``ttft_service`` the GPU spends *waiting*
+    on KV loads rather than computing (zero for compute-only schemes).  A
+    cross-request-pipelining scheduler can hide it behind other requests'
+    compute — see ``ContinuousBatchingScheduler(overlap_loads=True)``.
+
+    ``ttft_service_measured`` is the trace-calibrated pipeline delay from
+    :meth:`~repro.serving.costmodel.ServingCostModel.ttft_cacheblend_measured`,
+    attached (CacheBlend only) when the cost model carries a ready
+    :class:`~repro.serving.costmodel.OnlineCostCalibration`; ``None``
+    otherwise.  It sits beside the analytic ``ttft_service`` so sweeps can
+    report measured vs analytic TTFT side by side.
     """
 
     scheme: str
@@ -41,6 +53,8 @@ class EngineResult:
     ttft_service: float
     decode_time: float
     recomputed_fraction: float = 1.0
+    stall_time: float = 0.0
+    ttft_service_measured: float | None = None
 
     @property
     def total_service_time(self) -> float:
@@ -102,10 +116,12 @@ class InferenceEngine:
             recomputed_fraction = (
                 self.recompute_ratio * cached_context + n_suffix
             ) / max(1, cached_context + n_suffix)
-            gpu_time = self.cost_model.recompute_time(
+            # Selective recompute on layers 1..L-1; layer 0 is a full prefill
+            # (matching the per-layer schedule priced by ttft_cacheblend).
+            n_layers = self.cost_model.model.n_layers
+            gpu_time = self.cost_model.recompute_layer_time(
                 cached_context + n_suffix, recomputed_fraction
-            )
-            # Layer 0 is fully recomputed.
+            ) * (n_layers - 1)
             gpu_time += self.cost_model.prefill_layer_time(cached_context + n_suffix)
             recomputed = self.recompute_ratio * cached_context + n_suffix + cold_context
             if cold_context:
@@ -117,12 +133,28 @@ class InferenceEngine:
         remaining_decode = self.cost_model.decode_time(
             max(0, request.n_output_tokens - 1), context_tokens=n_total
         )
+        measured: float | None = None
+        calibration = self.cost_model.calibration
+        if (
+            self.scheme == "cacheblend"
+            and calibration is not None
+            and calibration.ready
+        ):
+            measured = self.cost_model.ttft_cacheblend_measured(
+                cached_context + n_suffix, n_suffix, self.recompute_ratio
+            )
+        # Pure device-wait share of the service time: what remains after the
+        # GPU work *and* the per-request launch overhead (overhead is GPU-side
+        # and cannot be hidden behind another request's compute).
+        stall = max(0.0, ttft_service - gpu_time - self.cost_model.gpu.overhead_s)
         return EngineResult(
             scheme=self.scheme,
             gpu_time=gpu_time + first_token,
             ttft_service=ttft_service + first_token,
             decode_time=remaining_decode,
             recomputed_fraction=min(1.0, recomputed / max(1, n_total)),
+            stall_time=stall,
+            ttft_service_measured=measured,
         )
 
     def serve_batch(self, requests: list[GenerationRequest]) -> list[EngineResult]:

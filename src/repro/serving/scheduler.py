@@ -105,6 +105,9 @@ class _RunningRequest:
     prefill_slice: float
     decode_step: float
     decode_steps_left: int
+    #: Fraction of every prefill slice that is GPU compute (the rest is KV
+    #: loading stall, hideable behind co-batched requests' compute).
+    gpu_fraction: float = 1.0
     first_token_time: float | None = None
 
 
@@ -127,11 +130,24 @@ class ContinuousBatchingScheduler:
         split into ``ceil(n_total_tokens / prefill_chunk_tokens)`` equal
         slices, one per iteration, so admission and decode steps interleave
         with long prefills.
+    overlap_loads:
+        Cross-request load/compute pipelining.  When enabled, an iteration
+        with several working requests runs two serial streams concurrently —
+        the storage device (the KV-loading stall shares of the prefill
+        slices, ``EngineResult.stall_time``) and the GPU (everything else) —
+        and lasts the *maximum* of the two instead of their sum: while
+        request A stalls on its next layer's KV, the GPU runs request B's
+        slice, exactly the overlap the executed
+        :meth:`~repro.core.executor.PipelinedExecutor.execute_batch` performs
+        with its loader/compute thread pair.  Loads still serialise on the
+        device, so a batch of stall-dominated requests stays device-bound;
+        a request alone in its batch pays its stalls in full.
     """
 
     n_servers: int = 1
     max_batch_tokens: int = 16_384
     prefill_chunk_tokens: int = 512
+    overlap_loads: bool = False
 
     def __post_init__(self) -> None:
         if self.n_servers < 1:
@@ -221,6 +237,9 @@ class ContinuousBatchingScheduler:
         n_tokens = request.n_total_tokens
         n_prefill_iters = max(1, -(-n_tokens // self.prefill_chunk_tokens))
         decode_steps = max(0, request.n_output_tokens - 1)
+        gpu_fraction = 1.0
+        if result.ttft_service > 0.0:
+            gpu_fraction = 1.0 - min(result.stall_time, result.ttft_service) / result.ttft_service
         return _RunningRequest(
             index=index,
             request=request,
@@ -230,6 +249,7 @@ class ContinuousBatchingScheduler:
             prefill_slice=result.ttft_service / n_prefill_iters,
             decode_step=result.decode_time / decode_steps if decode_steps else 0.0,
             decode_steps_left=decode_steps,
+            gpu_fraction=gpu_fraction,
         )
 
     def _run_iteration(
@@ -244,13 +264,30 @@ class ContinuousBatchingScheduler:
         work slice (a prefill chunk or one decode step) and the iteration
         lasts the sum of the slices.  Completions are recorded at iteration
         end, which keeps ``first_token_time >= start_time >= arrival_time``.
+
+        With ``overlap_loads`` and at least two working requests, the
+        iteration's KV-loading stalls (serial on the storage device) run
+        concurrently with its GPU slices (serial on the GPU) and the
+        iteration lasts ``max(gpu_work, load_work)`` — shorter than their
+        sum whenever both streams have work, but never below the pure-GPU
+        (or pure-device) lower bound.
         """
-        duration = 0.0
+        gpu_work = 0.0
+        load_work = 0.0
+        n_working = 0
         for running in batch:
             if running.remaining_prefill > 0.0:
-                duration += min(running.remaining_prefill, running.prefill_slice)
+                slice_ = min(running.remaining_prefill, running.prefill_slice)
+                gpu_work += slice_ * running.gpu_fraction
+                load_work += slice_ * (1.0 - running.gpu_fraction)
+                n_working += 1
             elif running.decode_steps_left > 0:
-                duration += running.decode_step
+                gpu_work += running.decode_step
+                n_working += 1
+        if self.overlap_loads and n_working > 1:
+            duration = max(gpu_work, load_work)
+        else:
+            duration = gpu_work + load_work
         iteration_end = clock + duration
 
         finished: list[_RunningRequest] = []

@@ -34,6 +34,9 @@ class RunSummary:
     throughput: float
     gpu_utilisation: float
     makespan: float
+    #: Mean trace-calibrated pipeline delay (``EngineResult.ttft_service_measured``)
+    #: when the engine carried a ready measured calibration; ``None`` otherwise.
+    mean_ttft_service_measured: float | None = None
 
 
 def summarise_run(
@@ -49,6 +52,12 @@ def summarise_run(
         r.arrival_time for r in requests
     )
     busy = sum(max(res.ttft_service, res.gpu_time) + res.decode_time for res in results)
+    measured = [res.ttft_service_measured for res in results]
+    mean_measured = (
+        float(np.mean([m for m in measured if m is not None]))
+        if any(m is not None for m in measured)
+        else None
+    )
     return RunSummary(
         mean_ttft=float(ttfts.mean()),
         p50_ttft=float(np.percentile(ttfts, 50)),
@@ -60,6 +69,7 @@ def summarise_run(
             min(1.0, busy / (n_servers * makespan)) if makespan > 0 else 1.0
         ),
         makespan=makespan,
+        mean_ttft_service_measured=mean_measured,
     )
 
 
@@ -88,6 +98,9 @@ class SimulationResult:
     mean_queueing: float
     throughput: float
     gpu_utilisation: float
+    #: Mean measured (trace-calibrated) pipeline delay; ``None`` without a
+    #: ready :class:`~repro.serving.costmodel.OnlineCostCalibration`.
+    mean_ttft_service_measured: float | None = None
     timings: list[RequestTiming] = field(default_factory=list, repr=False)
 
 
@@ -147,6 +160,7 @@ class LoadSimulator:
             mean_queueing=summary.mean_queueing,
             throughput=summary.throughput,
             gpu_utilisation=summary.gpu_utilisation,
+            mean_ttft_service_measured=summary.mean_ttft_service_measured,
             timings=timings,
         )
 

@@ -75,6 +75,49 @@ class TestBlendEngineRun:
         # Second request re-encodes nothing: two chunks plus the question hit.
         assert stats["tokenizer_hits"] >= 3
 
+    def test_per_request_stats_are_counted_locally(self, engine):
+        """Regression: per-request cache stats must not be derived by diffing
+        the engine-global counters, or interleaved batches cross-contaminate.
+
+        The global counters are deliberately pre-warmed and left hot while the
+        batch runs; every result must still report exactly its own accounting.
+        """
+        engine.kv_store.clear()
+        engine.reset_cache_stats()
+        engine.run(CHUNKS[:1], "warm the global counters")  # pollutes globals
+        batch = [
+            (CHUNKS[:2], "first question of the batch"),
+            (CHUNKS[:2], "second question of the batch"),
+            (CHUNKS[2:], "third question of the batch"),
+        ]
+        results = engine.run_batch(batch)
+        # Request 0: chunk 0 was warmed above, chunk 1 is cold.
+        assert results[0].cache_stats["hits"] == 1
+        assert results[0].cache_stats["misses"] == 1
+        # Request 1 repeats request 0's chunks: all hits, zero misses.
+        assert results[1].cache_stats["hits"] == 2
+        assert results[1].cache_stats["misses"] == 0
+        assert results[1].cache_stats["miss_tokens"] == 0
+        # Request 2 touches a disjoint cold chunk.
+        assert results[2].cache_stats["hits"] == 0
+        assert results[2].cache_stats["misses"] == 1
+        # Per-request tokenizer accounting is local too (question is new).
+        assert results[1].cache_stats["tokenizer_misses"] == 1
+        assert results[1].cache_stats["tokenizer_hits"] == 2
+        # The engine-global counters aggregate everything, warmup included.
+        assert engine.cache_stats["hits"] == sum(r.cache_stats["hits"] for r in results)
+        assert engine.cache_stats["misses"] == 1 + sum(
+            r.cache_stats["misses"] for r in results
+        )
+
+    def test_per_request_stats_snapshot_unaffected_by_later_requests(self, engine):
+        engine.kv_store.clear()
+        engine.reset_cache_stats()
+        first = engine.run(CHUNKS[:2], "a question held across requests")
+        snapshot = dict(first.cache_stats)
+        engine.run(CHUNKS, "another request mutating global counters")
+        assert first.cache_stats == snapshot
+
     def test_faster_device_lowers_ttft(self):
         fast = BlendEngine.build(paper_model="Mistral-7B", device="cpu_ram", seed=0)
         slow = BlendEngine.build(paper_model="Mistral-7B", device="slow_disk", seed=0)
