@@ -69,6 +69,13 @@ class ExperimentConfig:
     #: Cross-request load/compute pipelining in the continuous scheduler
     #: (hide one request's KV-loading stalls behind co-batched compute).
     overlap_loads: bool = True
+    #: Pace decode iterations at the proxy-measured per-step rate (the
+    #: calibration's ``decode_s_per_step``) instead of the analytic
+    #: ``decode_time`` slice.  Off by default: the measurement is wall-clock
+    #: on the NumPy proxy, so its *scale* matches the proxy serving loop
+    #: (the e2e tier), not the paper architectures the sweep cells price —
+    #: enabling it deliberately trades scale fidelity for measured pacing.
+    measured_decode_pacing: bool = False
     n_unique_chunks: int = 400
     zipf_alpha: float = 1.0
     cache_chunk_capacity: int = 160
@@ -88,6 +95,13 @@ class ExperimentConfig:
             raise ValueError("recompute_ratios must be non-empty")
         if self.n_requests < 1:
             raise ValueError("n_requests must be >= 1")
+        if self.measured_decode_pacing and self.scheduler != "continuous":
+            # Only the continuous scheduler paces per-iteration decode; with
+            # FCFS the flag would silently do nothing while still forcing
+            # the proxy probe run.
+            raise ValueError(
+                "measured_decode_pacing requires the 'continuous' scheduler"
+            )
 
     @classmethod
     def smoke(cls) -> "ExperimentConfig":
@@ -140,14 +154,22 @@ class ExperimentRunner:
         self.config = config
 
     # ------------------------------------------------------------------
-    def _build_scheduler(self) -> Scheduler:
+    def _build_scheduler(
+        self, calibration: OnlineCostCalibration | None = None
+    ) -> Scheduler:
         if self.config.scheduler == "fcfs":
             return FCFSScheduler(n_servers=self.config.n_servers)
+        # When measured pacing is on, the same calibration paces every cell's
+        # decode iterations, so the measured rate shifts all schemes
+        # identically and the scheme-vs-scheme comparisons stay fair.
         return ContinuousBatchingScheduler(
             n_servers=self.config.n_servers,
             max_batch_tokens=self.config.max_batch_tokens,
             prefill_chunk_tokens=self.config.prefill_chunk_tokens,
             overlap_loads=self.config.overlap_loads,
+            decode_calibration=(
+                calibration if self.config.measured_decode_pacing else None
+            ),
         )
 
     def _generate_workload(self) -> tuple[list[GenerationRequest], dict[str, object]]:
@@ -174,10 +196,11 @@ class ExperimentRunner:
     ) -> CellResult:
         """Serve the shared workload in one sweep cell and aggregate it.
 
-        With a ready *calibration* (measured per-layer rates from the proxy
-        probe's executor traces), CacheBlend cells additionally report the
-        trace-calibrated ``mean_ttft_service_measured`` beside the analytic
-        estimate.
+        With a ready *calibration* (measured per-layer rates and decode steps
+        from the proxy probe), CacheBlend cells additionally report the
+        trace-calibrated ``mean_ttft_service_measured`` (first decode step
+        included) beside the analytic estimate, and the continuous-batching
+        scheduler paces decode iterations at the measured per-step rate.
         """
         cost_model = ServingCostModel(get_config(model), calibration=calibration)
         needs_device = scheme in ("full_reuse", "cacheblend")
@@ -188,7 +211,7 @@ class ExperimentRunner:
             recompute_ratio=recompute_ratio,
         )
         results = engine.serve_batch(requests)
-        timings = self._build_scheduler().schedule(requests, results)
+        timings = self._build_scheduler(calibration).schedule(requests, results)
         return self._aggregate(
             model, device, scheme, recompute_ratio, requests, results, timings
         )
@@ -238,11 +261,13 @@ class ExperimentRunner:
         real pipelined fusion (cross-request) and its traces calibrate an
         :class:`~repro.serving.costmodel.OnlineCostCalibration` that every
         CacheBlend cell then uses to report measured TTFT beside the
-        analytic estimate.
+        analytic estimate.  ``measured_decode_pacing`` forces the probe —
+        without its decode observations the pacing would silently fall back
+        to analytic.
         """
         calibration: OnlineCostCalibration | None = None
         proxy: dict[str, object] | None = None
-        if with_proxy:
+        if with_proxy or self.config.measured_decode_pacing:
             calibration = OnlineCostCalibration()
             proxy = run_proxy_probe(seed=self.config.seed, calibration=calibration)
 
@@ -350,7 +375,10 @@ def run_proxy_probe(
         (chunks[:2], "what does cacheblend recompute?"),
         (chunks[1:], "where are kv caches stored?"),
     ]
-    results = engine.run_batch(batch, execution="pipelined")
+    # max_new_tokens exercises the batched-decode generation path; every
+    # pipelined request also measures its *first* decode step (folded into
+    # measured_ttft and observed by the decode calibration).
+    results = engine.run_batch(batch, execution="pipelined", max_new_tokens=4)
 
     # Measured load/compute pipelining: the text chunks above are only a few
     # tokens (per-layer compute well under the sleep/thread granularity), so
@@ -390,6 +418,8 @@ def run_proxy_probe(
         "estimated_ttfts": [r.ttft_estimate for r in results],
         "measured_ttfts": [r.measured_ttft for r in results],
         "measured_stall_s": [r.measured_stall for r in results],
+        "measured_first_decode_s": [r.measured_first_decode_s for r in results],
+        "n_generated": [len(r.generated_ids) for r in results],
         "cache": engine.cache_stats,
         "executor": measurement.as_dict(),
         "batch": {

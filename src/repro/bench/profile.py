@@ -3,8 +3,12 @@
 Times the hot-path primitives on a fixed, seeded workload — chunk prefill,
 sequential vs pipelined fuse (through the *executing*
 :class:`~repro.core.executor.PipelinedExecutor`, not the analytical model),
-KV serialize/deserialize — and writes a ``BENCH_profile_*.json`` so every PR
-has a perf trajectory to regress against.
+batched vs sequential decode (``decode_batch`` stepping B requests per call
+vs per-request ``decode_step`` loops, both on preallocated
+:class:`~repro.model.tensors.GrowableKVCache` buffers, plus a per-token
+scaling probe), KV serialize/deserialize — and writes a
+``BENCH_profile_*.json`` so every PR has a perf trajectory to regress
+against.
 
 The pipelined/sequential comparison is run at the calibrated load≈compute
 operating point: a zero-delay sequential pass measures the mean per-layer
@@ -35,15 +39,20 @@ from repro.core.executor import ExecutionResult, PipelinedExecutor
 from repro.core.fusor import FusorConfig, KVFusor
 from repro.kvstore.serialization import deserialize_kv, serialize_kv
 from repro.model.config import get_config
+from repro.model.tensors import GrowableKVCache
 from repro.model.transformer import TransformerModel
 
-PROFILE_SCHEMA_VERSION = 1
+#: v2 adds the decode ops (``decode_batched``/``decode_sequential``) and the
+#: top-level ``decode`` block (batched speedup + per-token scaling).
+PROFILE_SCHEMA_VERSION = 2
 
 _REQUIRED_OPS = (
     "chunk_prefill",
     "fuse_sequential",
     "fuse_pipelined",
     "serve_pipelined",
+    "decode_sequential",
+    "decode_batched",
     "serialize_kv",
     "deserialize_kv",
 )
@@ -61,17 +70,31 @@ class ProfileConfig:
     repeats: int = 3
     warmup: int = 1
     seed: int = 0
+    #: Batched-decode workload: ``decode_batch_size`` requests stepped
+    #: together for ``decode_tokens`` tokens (vs the same work through
+    #: sequential per-request ``decode_step`` loops).
+    decode_batch_size: int = 4
+    decode_tokens: int = 64
 
     def __post_init__(self) -> None:
         if self.n_chunks < 1 or self.chunk_tokens < 1 or self.suffix_tokens < 1:
             raise ValueError("workload sizes must be positive")
         if self.repeats < 1:
             raise ValueError("repeats must be >= 1")
+        if self.decode_batch_size < 1 or self.decode_tokens < 1:
+            raise ValueError("decode workload sizes must be positive")
 
     @classmethod
     def smoke(cls) -> "ProfileConfig":
         """CI-sized profile (seconds, not minutes)."""
         return cls(chunk_tokens=64, repeats=2, warmup=1)
+
+
+def _random_token_ids(
+    model: "TransformerModel", size, rng: np.random.Generator
+) -> np.ndarray:
+    """Seeded token ids skipping the reserved special-token ids (0-3)."""
+    return rng.integers(4, model.config.vocab_size, size=size).astype(np.int64)
 
 
 def _stats(samples: list[float]) -> dict[str, float | int]:
@@ -219,19 +242,120 @@ def _measure_served_ttfts(
     ]
 
 
+def _decode_prompt_caches(
+    model: TransformerModel, config: "ProfileConfig", rng: np.random.Generator
+):
+    """Prefill one prompt per batched-decode request; returns (caches, tokens)."""
+    prefills = [
+        model.full_prefill(_random_token_ids(model, config.chunk_tokens, rng)).kv_cache
+        for _ in range(config.decode_batch_size)
+    ]
+    tokens = _random_token_ids(
+        model, (config.decode_batch_size, config.decode_tokens), rng
+    )
+    return prefills, tokens
+
+
+def measure_decode_ops(
+    model: TransformerModel, config: "ProfileConfig", rng: np.random.Generator
+) -> tuple[dict[str, dict[str, float | int]], dict[str, object]]:
+    """Time batched vs sequential decode of the same B×T token workload.
+
+    ``decode_sequential`` steps each of the B requests alone — one
+    :meth:`~repro.model.transformer.TransformerModel.decode_step` per token
+    per request, B·T single-token passes.  ``decode_batched`` steps all B
+    requests per :meth:`~repro.model.transformer.TransformerModel.
+    decode_batch` call — T batched passes, amortising the per-layer dispatch
+    overhead across the batch.  Both run on preallocated
+    :class:`~repro.model.tensors.GrowableKVCache` buffers over identical
+    token streams, so the comparison isolates the batching.
+    """
+    prefills, tokens = _decode_prompt_caches(model, config, rng)
+    n_tokens = config.decode_tokens
+
+    def fresh_caches():
+        return [
+            GrowableKVCache.from_kv_cache(cache, reserve=n_tokens)
+            for cache in prefills
+        ]
+
+    def run_sequential() -> None:
+        for i, cache in enumerate(fresh_caches()):
+            for step in range(n_tokens):
+                model.decode_step(cache, int(tokens[i, step]))
+
+    def run_batched() -> None:
+        caches = fresh_caches()
+        for step in range(n_tokens):
+            model.decode_batch(caches, tokens[:, step])
+
+    ops = {
+        "decode_sequential": _time_op(run_sequential, config.repeats, config.warmup),
+        "decode_batched": _time_op(run_batched, config.repeats, config.warmup),
+    }
+    sequential = float(ops["decode_sequential"]["min_s"])
+    batched = float(ops["decode_batched"]["min_s"])
+    block: dict[str, object] = {
+        "batch_size": config.decode_batch_size,
+        "n_tokens": n_tokens,
+        "sequential_total_s": sequential,
+        "batched_total_s": batched,
+        "batched_speedup": sequential / batched if batched > 0 else float("inf"),
+    }
+    return ops, block
+
+
+def measure_decode_scaling(
+    model: TransformerModel,
+    prompt_tokens: int = 16,
+    n_tokens: int = 256,
+    window: int = 64,
+    seed: int = 0,
+) -> dict[str, float | int]:
+    """Per-token decode cost at the start vs the end of a long generation.
+
+    On the preallocated cache, appending is O(1) and only attention's reads
+    grow with the context, so the mean per-token cost of the last *window*
+    tokens stays within a small factor of the first *window*'s — whereas the
+    legacy concatenate-per-token path re-copied every layer's full K/V each
+    step and grew linearly (O(T²) for the generation).  The profile commits
+    the measured growth ratio so the regression test can assert the decode
+    path stays out of the quadratic regime.
+    """
+    if n_tokens < 2 * window:
+        raise ValueError("n_tokens must cover two measurement windows")
+    rng = np.random.default_rng(seed)
+    prompt = _random_token_ids(model, prompt_tokens, rng)
+    tokens = _random_token_ids(model, n_tokens, rng)
+    cache = GrowableKVCache.from_kv_cache(
+        model.full_prefill(prompt).kv_cache, reserve=n_tokens
+    )
+    per_token = np.zeros(n_tokens)
+    for step in range(n_tokens):
+        start = time.perf_counter()
+        model.decode_step(cache, int(tokens[step]))
+        per_token[step] = time.perf_counter() - start
+    first = float(np.median(per_token[:window]))
+    last = float(np.median(per_token[-window:]))
+    return {
+        "n_tokens": n_tokens,
+        "window": window,
+        "per_token_first_s": first,
+        "per_token_last_s": last,
+        "per_token_growth": last / first if first > 0 else float("inf"),
+    }
+
+
 def run_profile(config: ProfileConfig | None = None) -> dict[str, object]:
     """Run the profile workload and return the report document."""
     config = config or ProfileConfig()
     model = TransformerModel(get_config(config.model), seed=config.seed)
     rng = np.random.default_rng(config.seed)
-    low = 4  # skip the reserved special-token ids
     chunk_ids = [
-        rng.integers(low, model.config.vocab_size, size=config.chunk_tokens).astype(np.int64)
+        _random_token_ids(model, config.chunk_tokens, rng)
         for _ in range(config.n_chunks)
     ]
-    suffix_ids = rng.integers(low, model.config.vocab_size, size=config.suffix_tokens).astype(
-        np.int64
-    )
+    suffix_ids = _random_token_ids(model, config.suffix_tokens, rng)
     chunk_caches = [model.chunk_prefill(ids) for ids in chunk_ids]
     fusor_config = FusorConfig(recompute_ratio=config.recompute_ratio)
     fusor = KVFusor(model, fusor_config)
@@ -264,12 +388,23 @@ def run_profile(config: ProfileConfig | None = None) -> dict[str, object]:
     # ---- measured serving TTFT (workload -> engine -> executor) ----------
     ops["serve_pipelined"] = _stats(_measure_served_ttfts(model, config))
 
+    # ---- batched vs sequential decode + per-token scaling ----------------
+    decode_ops, decode_block = measure_decode_ops(model, config, rng)
+    ops.update(decode_ops)
+    decode_block["scaling"] = measure_decode_scaling(
+        model,
+        n_tokens=max(2 * config.decode_tokens, 128),
+        window=min(config.decode_tokens, 32),
+        seed=config.seed,
+    )
+
     return {
         "schema_version": PROFILE_SCHEMA_VERSION,
         "kind": "profile",
         "created": datetime.now(timezone.utc).isoformat(),
         "config": asdict(config),
         "ops": ops,
+        "decode": decode_block,
         "pipeline": {
             "n_layers": model.config.n_layers,
             "n_tokens": int(fused.n_tokens),
@@ -292,7 +427,7 @@ def run_profile(config: ProfileConfig | None = None) -> dict[str, object]:
 # ----------------------------------------------------------------------
 def validate_profile_report(document: dict[str, object]) -> None:
     """Raise ``ValueError`` when *document* does not match the profile schema."""
-    for key in ("schema_version", "kind", "created", "config", "ops", "pipeline"):
+    for key in ("schema_version", "kind", "created", "config", "ops", "decode", "pipeline"):
         if key not in document:
             raise ValueError(f"profile report is missing top-level key {key!r}")
     if document["kind"] != "profile":
@@ -311,6 +446,16 @@ def validate_profile_report(document: dict[str, object]) -> None:
     pipeline = document["pipeline"]
     if pipeline["measured_speedup"] <= 0:
         raise ValueError("measured_speedup must be positive")
+    decode = document["decode"]
+    for key in ("batch_size", "n_tokens", "batched_speedup", "scaling"):
+        if key not in decode:
+            raise ValueError(f"decode block is missing key {key!r}")
+    if decode["batched_speedup"] <= 0:
+        raise ValueError("batched_speedup must be positive")
+    if "per_token_growth" not in decode["scaling"]:
+        raise ValueError("decode scaling block is missing key 'per_token_growth'")
+    if decode["scaling"]["per_token_growth"] <= 0:
+        raise ValueError("per_token_growth must be positive")
 
 
 def profile_filename(tag: str = "") -> str:
@@ -334,7 +479,12 @@ def check_against_baseline(
     document: dict[str, object],
     baseline: dict[str, object],
     max_regression: float = 2.0,
-    ops: tuple[str, ...] = ("fuse_sequential", "fuse_pipelined", "serve_pipelined"),
+    ops: tuple[str, ...] = (
+        "fuse_sequential",
+        "fuse_pipelined",
+        "serve_pipelined",
+        "decode_batched",
+    ),
 ) -> list[str]:
     """Compare *document* against a checked-in *baseline*; returns failures.
 
@@ -342,8 +492,9 @@ def check_against_baseline(
     times the baseline's.  Minimums are compared so scheduler noise on shared
     CI runners doesn't trip the gate; ``max_regression`` absorbs hardware
     differences between the baseline machine and the runner.  Gated ops are
-    the fuse wall-clocks *and* the measured end-to-end serving TTFT
-    (``serve_pipelined``); ops absent from an older baseline are skipped.
+    the fuse wall-clocks, the measured end-to-end serving TTFT
+    (``serve_pipelined``) *and* the batched decode wall-clock
+    (``decode_batched``); ops absent from an older baseline are skipped.
     """
     failures: list[str] = []
     base_ops = baseline.get("ops", {})
@@ -381,5 +532,15 @@ def format_profile_summary(document: dict[str, object]) -> str:
         f"pipe {pipe['pipelined_total_s'] * 1e3:.1f} ms, "
         f"stall {pipe['pipelined_stall_s'] * 1e3:.1f} ms, "
         f"load/layer {pipe['layer_load_time_s'] * 1e3:.2f} ms)"
+    )
+    decode = document["decode"]
+    scaling = decode["scaling"]
+    lines.append(
+        f"batched vs sequential decode ({decode['batch_size']}x"
+        f"{decode['n_tokens']} tokens): {decode['batched_speedup']:.2f}x "
+        f"(seq {decode['sequential_total_s'] * 1e3:.1f} ms, "
+        f"batched {decode['batched_total_s'] * 1e3:.1f} ms); "
+        f"per-token growth over {scaling['n_tokens']} tokens: "
+        f"{scaling['per_token_growth']:.2f}x"
     )
     return "\n".join(lines)

@@ -1,6 +1,6 @@
 """Grouped-query causal attention, with a selective-token recompute path.
 
-Two entry points are provided:
+Three entry points are provided:
 
 * :func:`full_attention` — the standard causal attention over all tokens,
   used by full prefill and chunk prefill.
@@ -8,10 +8,16 @@ Two entry points are provided:
   as queries (the tokens being recomputed) while the keys/values of all other
   tokens come from a reused KV cache.  This is the layer primitive behind
   CacheBlend's selective KV recompute (paper §4.2, Figure 5b).
+* :func:`batched_decode_attention` — one decode query per request, batched
+  across N requests whose caches may have different lengths (padded keys plus
+  a length mask).  This is the layer primitive behind
+  :meth:`~repro.model.transformer.TransformerModel.decode_batch`.
 
-Both return the attention weights of a trailing "query window" (the last few
-tokens of the input, i.e. the user question in a RAG prompt) so the caller can
-compute the paper's *forward attention matrix* and its deviation.
+The two prefill entry points return the attention weights of a trailing
+"query window" (the last few tokens of the input, i.e. the user question in a
+RAG prompt) so the caller can compute the paper's *forward attention matrix*
+and its deviation; the decode entry point returns the bare per-request
+context (no window — decode queries are single tokens).
 """
 
 from __future__ import annotations
@@ -141,3 +147,49 @@ def selective_attention(
         positions,
         window_rows,
     )
+
+
+def batched_decode_attention(
+    queries: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    lengths: np.ndarray,
+) -> np.ndarray:
+    """One-query-per-request attention over N padded per-request caches.
+
+    During decode the query token is *temporally* after every cached token,
+    so the only causal rule is cache membership: each request attends to all
+    of its ``lengths`` live rows, and only padding is masked.  Positions
+    play no masking role here (they parameterise RoPE on the way in) — in
+    particular, context whose embedding positions exceed the query's (legal
+    after non-contiguous chunk layouts) is still attended, exactly as a
+    position-sorted cache would be.
+
+    Parameters
+    ----------
+    queries:
+        The decode tokens' rotary-embedded queries, shape
+        ``(n_requests, n_heads, head_dim)`` — one query row per request.
+    keys / values:
+        Per-request caches padded to a shared length, shape
+        ``(n_requests, max_tokens, n_kv_heads, head_dim)``.  Rows at or past
+        a request's ``lengths`` entry are padding and are masked out.
+    lengths:
+        Live token count of each request's cache, shape ``(n_requests,)``.
+
+    Returns the per-request context, shape ``(n_requests, n_heads, head_dim)``.
+    """
+    n_requests, n_heads, head_dim = queries.shape
+    n_kv_heads = keys.shape[2]
+    group = n_heads // n_kv_heads
+
+    q_grouped = queries.reshape(n_requests, n_kv_heads, group, head_dim)
+    scores = np.einsum("nhgd,nthd->nhgt", q_grouped, keys)
+    scores *= scores.dtype.type(1.0 / np.sqrt(head_dim))
+    token_index = np.arange(keys.shape[1])
+    padding = token_index[None, :] >= np.asarray(lengths)[:, None]
+    if padding.any():
+        np.copyto(scores, scores.dtype.type(-1e30), where=padding[:, None, None, :])
+    weights = softmax(scores, axis=-1)
+    context = np.einsum("nhgt,nthd->nhgd", weights, values)
+    return context.reshape(n_requests, n_heads, head_dim)

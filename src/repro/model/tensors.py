@@ -4,6 +4,12 @@ A :class:`KVCache` is the concatenation of per-layer key/value tensors for a
 token sequence, together with the absolute positions at which the keys were
 rotary-embedded.  Chunk caches record those positions so the CacheBlend fusor
 can re-align them when the chunk is placed at a different offset.
+
+:class:`GrowableKVCache` is the decode-path counterpart: per-layer K/V
+buffers preallocated with spare capacity and grown geometrically, so
+appending one decode token is an in-place row write (amortised O(1)) instead
+of the O(T) re-concatenation of every layer's full arrays that made the
+legacy decode loop O(T²) in memory traffic.
 """
 
 from __future__ import annotations
@@ -142,3 +148,199 @@ class KVCache:
         token_ids = np.concatenate([part.token_ids for part in parts])
         positions = np.concatenate([part.positions for part in parts])
         return KVCache(layers, token_ids, positions)
+
+
+class GrowableKVCache:
+    """Per-layer K/V buffers with spare capacity and amortised O(1) appends.
+
+    The buffers hold ``capacity`` token rows of which the first ``n_tokens``
+    are live; appending a decode token writes one row per layer in place.
+    When capacity runs out, the buffers grow geometrically (at least
+    doubling), so a generation of T tokens costs O(T) total copy traffic
+    instead of the O(T²) of re-concatenating every layer per token.
+
+    ``next_position`` is tracked on the cache (the position the *next*
+    appended token embeds at, one past the last row's position) so decode
+    steps never rescan the positions array — and, unlike the former
+    ``positions.max()`` scan, it anchors on the *last* token rather than the
+    numerically largest position, so decoding continues the sequence order
+    after chunk-derived positions that are non-contiguous or out of order.
+    Note that an out-of-order cache is best re-aligned (the fusor always
+    does) before long decodes: its absolute positions may then repeat, and
+    RoPE cannot distinguish two keys rotated to the same position.
+    """
+
+    def __init__(
+        self,
+        n_layers: int,
+        n_kv_heads: int,
+        head_dim: int,
+        dtype: np.dtype | str = np.float32,
+        capacity: int = 64,
+    ) -> None:
+        if n_layers < 1:
+            raise ValueError("n_layers must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._length = 0
+        self._keys = [
+            np.zeros((capacity, n_kv_heads, head_dim), dtype=dtype)
+            for _ in range(n_layers)
+        ]
+        self._values = [np.zeros_like(k) for k in self._keys]
+        self._token_ids = np.zeros(capacity, dtype=np.int64)
+        self._positions = np.zeros(capacity, dtype=np.int64)
+        self.next_position = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_kv_cache(cls, cache: KVCache, reserve: int = 0) -> "GrowableKVCache":
+        """Copy a legacy :class:`KVCache` into preallocated buffers.
+
+        ``reserve`` extra rows are preallocated beyond the cache's tokens
+        (e.g. the expected number of decode tokens), so a generation of that
+        length never reallocates.
+        """
+        if not cache.layers:
+            raise ValueError("cannot grow an empty KVCache")
+        n = cache.n_tokens
+        first = cache.layers[0]
+        grown = cls(
+            cache.n_layers,
+            first.keys.shape[1],
+            first.keys.shape[2],
+            dtype=first.keys.dtype,
+            capacity=max(1, n + max(0, reserve)),
+        )
+        for layer_idx, layer in enumerate(cache.layers):
+            grown._keys[layer_idx][:n] = layer.keys
+            grown._values[layer_idx][:n] = layer.values
+        if cache.token_ids.size:
+            grown._token_ids[:n] = cache.token_ids
+        if cache.positions.size:
+            grown._positions[:n] = cache.positions
+            grown.next_position = int(cache.positions[-1]) + 1
+        else:
+            grown._positions[:n] = np.arange(n, dtype=np.int64)
+            grown.next_position = n
+        grown._length = n
+        return grown
+
+    # ------------------------------------------------------------------
+    @property
+    def n_layers(self) -> int:
+        return len(self._keys)
+
+    @property
+    def n_tokens(self) -> int:
+        return self._length
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def token_ids(self) -> np.ndarray:
+        """Live token ids (a view into the buffer; do not resize)."""
+        return self._token_ids[: self._length]
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Live embedding positions (a view into the buffer; do not resize)."""
+        return self._positions[: self._length]
+
+    @property
+    def layers(self) -> list[LayerKV]:
+        """Per-layer :class:`LayerKV` views of the live rows (zero-copy)."""
+        return [self.layer(i) for i in range(self.n_layers)]
+
+    def layer(self, layer_idx: int) -> LayerKV:
+        return LayerKV(self.layer_keys(layer_idx), self.layer_values(layer_idx))
+
+    def layer_keys(self, layer_idx: int) -> np.ndarray:
+        return self._keys[layer_idx][: self._length]
+
+    def layer_values(self, layer_idx: int) -> np.ndarray:
+        return self._values[layer_idx][: self._length]
+
+    # ------------------------------------------------------------------
+    def reserve(self, n_extra: int) -> None:
+        """Ensure capacity for *n_extra* more rows, growing geometrically."""
+        needed = self._length + max(0, n_extra)
+        if needed <= self._capacity:
+            return
+        new_capacity = max(needed, 2 * self._capacity)
+        for buffers in (self._keys, self._values):
+            for layer_idx, old in enumerate(buffers):
+                grown = np.zeros((new_capacity, *old.shape[1:]), dtype=old.dtype)
+                grown[: self._length] = old[: self._length]
+                buffers[layer_idx] = grown
+        for name in ("_token_ids", "_positions"):
+            old = getattr(self, name)
+            grown = np.zeros(new_capacity, dtype=old.dtype)
+            grown[: self._length] = old[: self._length]
+            setattr(self, name, grown)
+        self._capacity = new_capacity
+
+    def append_token(self, token_id: int, position: int | None = None) -> int:
+        """Claim the next row for one token; returns its row index.
+
+        The row's K/V entries are written afterwards via :meth:`write_layer`
+        (the decode loop fills them layer by layer).  ``position`` defaults
+        to the tracked :attr:`next_position`.
+        """
+        self.reserve(1)
+        row = self._length
+        if position is None:
+            position = self.next_position
+        self._token_ids[row] = token_id
+        self._positions[row] = position
+        self._length += 1
+        self.next_position = int(position) + 1
+        return row
+
+    def write_layer(
+        self, layer_idx: int, row: int, keys: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Write one token's K/V for one layer in place (no reallocation)."""
+        self._keys[layer_idx][row] = keys
+        self._values[layer_idx][row] = values
+
+    def append(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        token_id: int,
+        position: int | None = None,
+    ) -> int:
+        """Append one token's stacked ``(n_layers, n_kv_heads, head_dim)`` K/V."""
+        keys = np.asarray(keys)
+        values = np.asarray(values)
+        if keys.shape[0] != self.n_layers or values.shape[0] != self.n_layers:
+            raise ValueError("append expects one K/V row per layer")
+        row = self.append_token(token_id, position)
+        for layer_idx in range(self.n_layers):
+            self.write_layer(layer_idx, row, keys[layer_idx], values[layer_idx])
+        return row
+
+    # ------------------------------------------------------------------
+    def view(self) -> KVCache:
+        """Zero-copy legacy :class:`KVCache` view of the live rows.
+
+        The views alias the growable buffers: valid until the next append
+        that triggers a reallocation.
+        """
+        return KVCache(self.layers, self.token_ids, self.positions)
+
+    def to_kv_cache(self) -> KVCache:
+        """Deep copy into an exactly-sized legacy :class:`KVCache`."""
+        n = self._length
+        return KVCache(
+            [
+                LayerKV(self._keys[i][:n].copy(), self._values[i][:n].copy())
+                for i in range(self.n_layers)
+            ],
+            self._token_ids[:n].copy(),
+            self._positions[:n].copy(),
+        )

@@ -41,7 +41,10 @@ class OnlineCostCalibration:
       token (simulated transfer + decode + RoPE re-align, measured);
     * ``compute_s_per_token`` — seconds one layer's selective recompute takes
       per *recomputed* token (layer 0's full recompute is folded in at its
-      own token count).
+      own token count);
+    * ``decode_s_per_step`` — seconds one measured decode iteration takes
+      (fed by :meth:`observe_decode` from the engine's measured first decode
+      step through the batched decode path).
 
     ``alpha`` is the EWMA weight of the newest observation; the first
     observation seeds the averages directly.
@@ -51,6 +54,8 @@ class OnlineCostCalibration:
     load_s_per_token: float | None = None
     compute_s_per_token: float | None = None
     n_observations: int = 0
+    decode_s_per_step: float | None = None
+    n_decode_observations: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha <= 1.0:
@@ -85,6 +90,31 @@ class OnlineCostCalibration:
         self.compute_s_per_token = self._ewma(self.compute_s_per_token, compute_per_token)
         self.n_observations += 1
 
+    @property
+    def decode_ready(self) -> bool:
+        """True once at least one measured decode step has been observed."""
+        return self.decode_s_per_step is not None
+
+    def observe_decode(self, step_seconds: float) -> None:
+        """Fold one measured decode-step wall-clock into the running average.
+
+        One observation is the wall-clock of one decode *iteration* — a
+        whole :meth:`~repro.model.transformer.TransformerModel.decode_batch`
+        call costs roughly one step regardless of batch size (that is the
+        point of batching), so batched steps are observed whole, never
+        divided per request.
+        """
+        if step_seconds < 0.0:
+            raise ValueError("step_seconds must be non-negative")
+        self.decode_s_per_step = self._ewma(self.decode_s_per_step, step_seconds)
+        self.n_decode_observations += 1
+
+    def decode_step_time(self) -> float:
+        """Measured decode-iteration delay (one token per request per step)."""
+        if self.decode_s_per_step is None:
+            raise RuntimeError("calibration has no decode observations yet")
+        return self.decode_s_per_step
+
     def _ewma(self, current: float | None, sample: float) -> float:
         if current is None:
             return sample
@@ -109,6 +139,8 @@ class OnlineCostCalibration:
             "load_s_per_token": self.load_s_per_token,
             "compute_s_per_token": self.compute_s_per_token,
             "n_observations": self.n_observations,
+            "decode_s_per_step": self.decode_s_per_step,
+            "n_decode_observations": self.n_decode_observations,
         }
 
 
@@ -207,8 +239,38 @@ class ServingCostModel:
     def decode_time(
         self, n_new_tokens: int, batch_size: int = 1, context_tokens: int = 0
     ) -> float:
-        """Delay of generating *n_new_tokens* tokens."""
-        return n_new_tokens * self.decode_time_per_token(batch_size, context_tokens)
+        """Delay of generating *n_new_tokens* tokens, integrating KV growth.
+
+        Each generated token appends to the KV cache, so token ``k`` decodes
+        against ``context_tokens + k`` of context.  Pricing the whole
+        generation at the *initial* context (the former behaviour)
+        underestimates long decodes; this sums the per-token delay over the
+        growing context in closed form: tokens below the compute/memory
+        crossover cost the flat compute-bound delay, the rest the linearly
+        growing memory-bound one (an arithmetic series).
+        """
+        if n_new_tokens <= 0:
+            return 0.0
+        params = self.model.approx_parameters()
+        compute = 2.0 * params * batch_size / self._effective_flops
+        bandwidth = self.gpu.hbm_bandwidth * self.n_gpus
+        weight_bytes = params * self.model.dtype_bytes
+        kv_per_token = self.model.kv_bytes_per_token() * batch_size
+        first, last = context_tokens, context_tokens + n_new_tokens - 1
+        if (weight_bytes + kv_per_token * last) / bandwidth <= compute:
+            return n_new_tokens * compute  # compute-bound for the whole decode
+        if kv_per_token > 0:
+            crossover = int(np.ceil((compute * bandwidth - weight_bytes) / kv_per_token))
+            crossover = min(max(crossover, first), last + 1)
+        else:
+            crossover = first  # memory-bound throughout (weights alone dominate)
+        n_compute_bound = crossover - first
+        n_memory_bound = n_new_tokens - n_compute_bound
+        memory_total = (
+            n_memory_bound * weight_bytes
+            + kv_per_token * (crossover + last) * n_memory_bound / 2.0
+        ) / bandwidth
+        return n_compute_bound * compute + memory_total
 
     # ------------------------------------------------------------------
     # KV loading

@@ -41,10 +41,15 @@ class EngineResult:
     compute — see ``ContinuousBatchingScheduler(overlap_loads=True)``.
 
     ``ttft_service_measured`` is the trace-calibrated pipeline delay from
-    :meth:`~repro.serving.costmodel.ServingCostModel.ttft_cacheblend_measured`,
-    attached (CacheBlend only) when the cost model carries a ready
+    :meth:`~repro.serving.costmodel.ServingCostModel.ttft_cacheblend_measured`
+    *plus the first decode step*, attached (CacheBlend only) when the cost
+    model carries a ready
     :class:`~repro.serving.costmodel.OnlineCostCalibration`; ``None``
-    otherwise.  It sits beside the analytic ``ttft_service`` so sweeps can
+    otherwise.  The decode step is the calibration's *measured* per-step
+    delay whenever pipelined serving has observed one (every
+    ``execution="pipelined"`` request measures its first decode step through
+    the batched decode path), falling back to the analytic per-token delay
+    until then.  It sits beside the analytic ``ttft_service`` so sweeps can
     report measured vs analytic TTFT side by side.
     """
 
@@ -130,8 +135,10 @@ class InferenceEngine:
                 gpu_time += cold
 
         first_token = self.cost_model.decode_time_per_token(context_tokens=n_total)
+        # The first token's KV is already appended when the remaining tokens
+        # decode, so their growing-context integration starts at n_total + 1.
         remaining_decode = self.cost_model.decode_time(
-            max(0, request.n_output_tokens - 1), context_tokens=n_total
+            max(0, request.n_output_tokens - 1), context_tokens=n_total + 1
         )
         measured: float | None = None
         calibration = self.cost_model.calibration
@@ -142,6 +149,14 @@ class InferenceEngine:
         ):
             measured = self.cost_model.ttft_cacheblend_measured(
                 cached_context + n_suffix, n_suffix, self.recompute_ratio
+            )
+            # TTFT runs to the first emitted token: add the measured first
+            # decode step when one has been observed, the analytic one until
+            # then (mirroring the `+ first_token` on the analytic estimate).
+            measured += (
+                calibration.decode_step_time()
+                if calibration.decode_ready
+                else first_token
             )
         # Pure device-wait share of the service time: what remains after the
         # GPU work *and* the per-request launch overhead (overhead is GPU-side

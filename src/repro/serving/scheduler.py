@@ -21,6 +21,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
+from repro.serving.costmodel import OnlineCostCalibration
 from repro.serving.engine import EngineResult
 from repro.serving.request import GenerationRequest, RequestTiming
 
@@ -142,12 +143,22 @@ class ContinuousBatchingScheduler:
         with its loader/compute thread pair.  Loads still serialise on the
         device, so a batch of stall-dominated requests stays device-bound;
         a request alone in its batch pays its stalls in full.
+    decode_calibration:
+        Optional :class:`~repro.serving.costmodel.OnlineCostCalibration`.
+        When it carries measured decode observations (every pipelined request
+        measures its first decode step through the batched decode path), the
+        per-iteration decode slice of every running request is the
+        calibration's *measured* per-step delay instead of the analytic
+        ``decode_time / steps`` share — the iteration pacing tracks observed
+        wall-clock.  Apply the same calibration across all sweep cells so
+        scheme comparisons stay apples-to-apples.
     """
 
     n_servers: int = 1
     max_batch_tokens: int = 16_384
     prefill_chunk_tokens: int = 512
     overlap_loads: bool = False
+    decode_calibration: OnlineCostCalibration | None = None
 
     def __post_init__(self) -> None:
         if self.n_servers < 1:
@@ -237,6 +248,13 @@ class ContinuousBatchingScheduler:
         n_tokens = request.n_total_tokens
         n_prefill_iters = max(1, -(-n_tokens // self.prefill_chunk_tokens))
         decode_steps = max(0, request.n_output_tokens - 1)
+        decode_step = result.decode_time / decode_steps if decode_steps else 0.0
+        if (
+            decode_steps
+            and self.decode_calibration is not None
+            and self.decode_calibration.decode_ready
+        ):
+            decode_step = self.decode_calibration.decode_step_time()
         gpu_fraction = 1.0
         if result.ttft_service > 0.0:
             gpu_fraction = 1.0 - min(result.stall_time, result.ttft_service) / result.ttft_service
@@ -247,7 +265,7 @@ class ContinuousBatchingScheduler:
             start_time=clock,
             remaining_prefill=result.ttft_service,
             prefill_slice=result.ttft_service / n_prefill_iters,
-            decode_step=result.decode_time / decode_steps if decode_steps else 0.0,
+            decode_step=decode_step,
             decode_steps_left=decode_steps,
             gpu_fraction=gpu_fraction,
         )

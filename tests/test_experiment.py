@@ -158,6 +158,27 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             ExperimentConfig(scheduler="psychic")
 
+    def test_measured_decode_pacing_requires_continuous_scheduler(self):
+        """FCFS never consumes the decode calibration; rejecting the combo
+        beats silently charging the user for a no-op proxy run."""
+        with pytest.raises(ValueError):
+            ExperimentConfig(scheduler="fcfs", measured_decode_pacing=True)
+        ExperimentConfig(scheduler="continuous", measured_decode_pacing=True)
+
+    def test_measured_decode_pacing_forces_the_proxy_probe(self):
+        """Library path: run() without with_proxy must still run the probe
+        when measured pacing is requested, or the pacing would silently fall
+        back to analytic."""
+        config = ExperimentConfig(
+            models=("mistral-7b",),
+            devices=("cpu_ram",),
+            n_requests=6,
+            measured_decode_pacing=True,
+        )
+        report = ExperimentRunner(config).run()
+        assert report.proxy is not None
+        assert report.proxy["calibration"]["n_decode_observations"] >= 2
+
     def test_smoke_config_is_small(self):
         config = ExperimentConfig.smoke()
         assert config.n_requests <= 100

@@ -8,6 +8,7 @@ from repro.bench.profile import (
     ProfileConfig,
     check_against_baseline,
     format_profile_summary,
+    measure_decode_scaling,
     run_profile,
     save_profile_report,
     validate_profile_report,
@@ -31,6 +32,8 @@ class TestProfileReport:
             "chunk_prefill",
             "fuse_sequential",
             "fuse_pipelined",
+            "decode_sequential",
+            "decode_batched",
             "serialize_kv",
             "deserialize_kv",
         ):
@@ -58,6 +61,45 @@ class TestProfileReport:
         with pytest.raises(ValueError):
             validate_profile_report(broken)
 
+    def test_validation_rejects_missing_decode_block(self, document):
+        broken = copy.deepcopy(document)
+        del broken["decode"]
+        with pytest.raises(ValueError):
+            validate_profile_report(broken)
+
+
+class TestDecodeProfile:
+    """Acceptance: batched decode wins and the per-token cost stays flat."""
+
+    def test_workload_meets_the_acceptance_floor(self, document):
+        decode = document["decode"]
+        assert decode["batch_size"] >= 4
+        assert decode["n_tokens"] >= 64
+
+    def test_batched_decode_beats_sequential(self, document):
+        ops = document["ops"]
+        assert ops["decode_batched"]["min_s"] < ops["decode_sequential"]["min_s"]
+        assert document["decode"]["batched_speedup"] > 1.0
+
+    def test_per_token_decode_cost_is_not_quadratic(self, document):
+        """On preallocated buffers only attention's O(T) read grows with the
+        context; the legacy concatenate-per-token path would roughly triple
+        the per-token cost between the first and last window here."""
+        scaling = document["decode"]["scaling"]
+        assert scaling["per_token_first_s"] > 0.0
+        # Measured ~1.0-1.2 on the preallocated cache; the legacy
+        # concatenate-per-token path sat near 3. 2.5 leaves CI-noise margin
+        # while still separating the regimes.
+        assert scaling["per_token_growth"] < 2.5
+
+    def test_scaling_helper_rejects_short_runs(self):
+        from repro.model.config import get_config
+        from repro.model.transformer import TransformerModel
+
+        model = TransformerModel(get_config("tiny"), seed=0)
+        with pytest.raises(ValueError):
+            measure_decode_scaling(model, n_tokens=16, window=16)
+
 
 class TestBaselineGate:
     def test_no_failure_within_budget(self, document):
@@ -70,6 +112,15 @@ class TestBaselineGate:
         failures = check_against_baseline(document, baseline, max_regression=2.0)
         assert len(failures) == 2
         assert "fuse_sequential" in failures[0]
+
+    def test_decode_batched_is_gated(self, document):
+        baseline = copy.deepcopy(document)
+        baseline["ops"]["decode_batched"]["min_s"] = (
+            document["ops"]["decode_batched"]["min_s"] / 10.0
+        )
+        failures = check_against_baseline(document, baseline, max_regression=2.0)
+        assert len(failures) == 1
+        assert "decode_batched" in failures[0]
 
     def test_missing_baseline_op_is_skipped(self, document):
         baseline = copy.deepcopy(document)

@@ -131,3 +131,54 @@ class TestContinuousBatching:
         result = simulator.run(2.0, n_requests=40)
         assert result.mean_ttft > 0.0
         assert result.throughput > 0.0
+
+
+class TestDecodeTimeIntegratesKVGrowth:
+    """Regression: decode_time must price the *growing* context, not pin the
+    whole generation at the initial ``context_tokens``."""
+
+    @pytest.fixture(scope="class")
+    def cost_model(self):
+        return ServingCostModel(get_config("mistral-7b"))
+
+    def test_single_token_matches_per_token_delay(self, cost_model):
+        for context in (0, 1_000, 100_000):
+            assert cost_model.decode_time(1, context_tokens=context) == pytest.approx(
+                cost_model.decode_time_per_token(context_tokens=context)
+            )
+
+    def test_long_decode_exceeds_initial_context_pricing(self, cost_model):
+        """Deep in the memory-bound regime every appended token makes the
+        next one dearer; the former flat pricing underestimated this."""
+        context, n_new = 200_000, 4_000
+        flat = n_new * cost_model.decode_time_per_token(context_tokens=context)
+        integrated = cost_model.decode_time(n_new, context_tokens=context)
+        assert integrated > flat
+        # ...but never beyond pricing every token at the *final* context.
+        final = n_new * cost_model.decode_time_per_token(
+            context_tokens=context + n_new - 1
+        )
+        assert integrated < final
+
+    def test_matches_explicit_per_token_sum(self, cost_model):
+        context, n_new = 150_000, 64
+        explicit = sum(
+            cost_model.decode_time_per_token(context_tokens=context + k)
+            for k in range(n_new)
+        )
+        assert cost_model.decode_time(n_new, context_tokens=context) == pytest.approx(
+            explicit
+        )
+
+    def test_compute_bound_decode_stays_flat(self, cost_model):
+        """With negligible context the per-token cost is constant, so the
+        closed form reduces to the flat product."""
+        n_new = 16
+        flat = n_new * cost_model.decode_time_per_token(context_tokens=0)
+        assert cost_model.decode_time(n_new, context_tokens=0) == pytest.approx(
+            flat, rel=0.05
+        )
+
+    def test_zero_or_negative_tokens_cost_nothing(self, cost_model):
+        assert cost_model.decode_time(0, context_tokens=1_000) == 0.0
+        assert cost_model.decode_time(-3, context_tokens=1_000) == 0.0

@@ -95,6 +95,21 @@ class TestMeasuredTraces:
             assert result.measured_ttft > 0.0
             assert result.ttft == result.measured_ttft  # pipelined headline TTFT
 
+    def test_measured_ttft_includes_a_measured_first_decode_step(self, served_batch):
+        """Acceptance: pipelined TTFT runs to the first token — the fused
+        pipeline's trace plus one *measured* decode step through the batched
+        decode path on a preallocated cache."""
+        for result in served_batch:
+            assert result.measured_first_decode_s is not None
+            assert math.isfinite(result.measured_first_decode_s)
+            assert result.measured_first_decode_s > 0.0
+            # Warm store: no cold-chunk prefill, so the measured TTFT is
+            # exactly the pipeline trace plus the first decode step.
+            assert result.cache_stats["misses"] == 0
+            assert result.measured_ttft == pytest.approx(
+                result.trace.total_time + result.measured_first_decode_s
+            )
+
     def test_analytic_estimate_reported_beside_measured(self, served_batch):
         for result in served_batch:
             assert math.isfinite(result.ttft_estimate)
@@ -178,6 +193,62 @@ class TestMeasuredFeedsScheduling:
         assert calibration.n_observations >= 2
         assert calibration.load_s_per_token > 0.0
         assert calibration.compute_s_per_token > 0.0
+
+    def test_decode_calibration_ready_after_pipelined_serving(self, calibration):
+        """Every pipelined request measures its first decode step, so decode
+        observations accumulate alongside the load/compute rates."""
+        assert calibration.decode_ready
+        assert calibration.n_decode_observations >= 2
+        assert calibration.decode_step_time() > 0.0
+
+    def test_measured_ttft_service_includes_the_decode_step(self, calibration):
+        cost_model = ServingCostModel(
+            get_config("mistral-7b"), GPUSpec(), calibration=calibration
+        )
+        inference = InferenceEngine(
+            cost_model, scheme="cacheblend", device=get_device("nvme_ssd")
+        )
+        request = GenerationRequest(request_id=0)
+        result = inference.serve(request)
+        cached_context = int(
+            round(request.cached_chunk_fraction * request.n_context_tokens)
+        )
+        fuse_only = cost_model.ttft_cacheblend_measured(
+            cached_context + request.n_suffix_tokens,
+            request.n_suffix_tokens,
+            inference.recompute_ratio,
+        )
+        assert result.ttft_service_measured == pytest.approx(
+            fuse_only + calibration.decode_step_time()
+        )
+
+    def test_scheduler_paces_decode_at_the_measured_rate(self, calibration):
+        """With a decode-ready calibration the continuous scheduler's decode
+        iterations last the measured per-step delay, not the analytic
+        ``decode_time`` slice."""
+        cost_model = ServingCostModel(
+            get_config("mistral-7b"), GPUSpec(), calibration=calibration
+        )
+        inference = InferenceEngine(
+            cost_model, scheme="cacheblend", device=get_device("nvme_ssd")
+        )
+        request = GenerationRequest(request_id=0, arrival_time=0.0)
+        results = inference.serve_batch([request])
+        analytic = ContinuousBatchingScheduler().schedule([request], results)
+        measured = ContinuousBatchingScheduler(
+            decode_calibration=calibration
+        ).schedule([request], results)
+        decode_steps = request.n_output_tokens - 1
+        expected_shift = decode_steps * (
+            results[0].decode_time / decode_steps - calibration.decode_step_time()
+        )
+        assert measured[0].completion_time == pytest.approx(
+            analytic[0].completion_time - expected_shift
+        )
+        # TTFT (prefill pacing) is untouched by the decode calibration.
+        assert measured[0].first_token_time == pytest.approx(
+            analytic[0].first_token_time
+        )
 
     def test_cost_model_reports_measured_cacheblend_ttft(self, calibration):
         cost_model = ServingCostModel(
@@ -299,3 +370,22 @@ class TestSweepReportsMeasured:
         assert calibration["n_observations"] >= 2
         assert calibration["load_s_per_token"] > 0.0
         assert calibration["compute_s_per_token"] > 0.0
+
+    def test_proxy_reports_measured_first_decode_steps(self, report):
+        proxy = report.proxy
+        assert len(proxy["measured_first_decode_s"]) == proxy["n_requests"]
+        for first_decode in proxy["measured_first_decode_s"]:
+            assert math.isfinite(first_decode) and first_decode > 0.0
+        # The probe generates through the batched decode path.
+        assert all(n > 0 for n in proxy["n_generated"])
+        calibration = report.proxy["calibration"]
+        assert calibration["n_decode_observations"] >= 2
+        assert calibration["decode_s_per_step"] > 0.0
+
+    def test_measured_column_exceeds_the_fuse_only_delay(self, report):
+        """The measured sweep column runs to the first token: it must carry
+        more than the fused pipeline alone (the first decode step)."""
+        decode_step = report.proxy["calibration"]["decode_s_per_step"]
+        for cell in report.cells:
+            if cell.scheme == "cacheblend":
+                assert cell.mean_ttft_service_measured > decode_step
