@@ -131,6 +131,11 @@ class CellResult:
     #: Mean trace-calibrated (measured) pipeline delay beside the analytic
     #: ``mean_ttft_service`` — CacheBlend cells under ``--with-proxy`` only.
     mean_ttft_service_measured: float | None = None
+    #: Mean per-request decode throughput over the scheduled run (tokens
+    #: after the first, per second of first-token-to-completion span) — with
+    #: measured width-aware pacing this is where co-batched decode
+    #: amortisation shows up at the sweep level.
+    mean_decode_tokens_per_s: float = 0.0
 
     def as_dict(self) -> dict[str, object]:
         return asdict(self)
@@ -228,6 +233,12 @@ class ExperimentRunner:
     ) -> CellResult:
         summary = summarise_run(requests, results, timings, self.config.n_servers)
         quality = QUALITY_SCORES[scheme]
+        decode_rates = [
+            (request.n_output_tokens - 1) / span
+            for request, timing in zip(requests, timings)
+            if request.n_output_tokens > 1
+            and (span := timing.completion_time - timing.first_token_time) > 0.0
+        ]
         return CellResult(
             model=model,
             device=device,
@@ -247,6 +258,9 @@ class ExperimentRunner:
             quality=quality,
             quality_adjusted_ttft=summary.mean_ttft / quality,
             mean_ttft_service_measured=summary.mean_ttft_service_measured,
+            mean_decode_tokens_per_s=(
+                float(np.mean(decode_rates)) if decode_rates else 0.0
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -375,9 +389,10 @@ def run_proxy_probe(
         (chunks[:2], "what does cacheblend recompute?"),
         (chunks[1:], "where are kv caches stored?"),
     ]
-    # max_new_tokens exercises the batched-decode generation path; every
-    # pipelined request also measures its *first* decode step (folded into
-    # measured_ttft and observed by the decode calibration).
+    # max_new_tokens exercises the co-batched DecodeSession generation path:
+    # the batch decodes in lock-step (one session step per iteration), the
+    # shared measured first step is folded into every measured_ttft, and
+    # each step feeds the width-aware decode calibration buckets.
     results = engine.run_batch(batch, execution="pipelined", max_new_tokens=4)
 
     # Measured load/compute pipelining: the text chunks above are only a few
@@ -419,6 +434,7 @@ def run_proxy_probe(
         "measured_ttfts": [r.measured_ttft for r in results],
         "measured_stall_s": [r.measured_stall for r in results],
         "measured_first_decode_s": [r.measured_first_decode_s for r in results],
+        "decode_batch_widths": [r.decode_batch_width for r in results],
         "n_generated": [len(r.generated_ids) for r in results],
         "cache": engine.cache_stats,
         "executor": measurement.as_dict(),

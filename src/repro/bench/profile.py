@@ -3,12 +3,12 @@
 Times the hot-path primitives on a fixed, seeded workload — chunk prefill,
 sequential vs pipelined fuse (through the *executing*
 :class:`~repro.core.executor.PipelinedExecutor`, not the analytical model),
-batched vs sequential decode (``decode_batch`` stepping B requests per call
-vs per-request ``decode_step`` loops, both on preallocated
-:class:`~repro.model.tensors.GrowableKVCache` buffers, plus a per-token
-scaling probe), KV serialize/deserialize — and writes a
-``BENCH_profile_*.json`` so every PR has a perf trajectory to regress
-against.
+session vs batched vs sequential decode (one persistent
+:class:`~repro.model.tensors.DecodeSession` pad stepping B requests
+lock-step, vs per-call ``decode_batch`` re-gathers, vs per-request
+``decode_step`` loops; plus per-token and batch-width scaling probes), KV
+serialize/deserialize — and writes a ``BENCH_profile_*.json`` so every PR
+has a perf trajectory to regress against.
 
 The pipelined/sequential comparison is run at the calibrated load≈compute
 operating point: a zero-delay sequential pass measures the mean per-layer
@@ -42,9 +42,11 @@ from repro.model.config import get_config
 from repro.model.tensors import GrowableKVCache
 from repro.model.transformer import TransformerModel
 
-#: v2 adds the decode ops (``decode_batched``/``decode_sequential``) and the
-#: top-level ``decode`` block (batched speedup + per-token scaling).
-PROFILE_SCHEMA_VERSION = 2
+#: v2 added the decode ops (``decode_batched``/``decode_sequential``) and the
+#: top-level ``decode`` block (batched speedup + per-token scaling); v3 adds
+#: ``decode_session`` (persistent padded batch buffers, no per-step re-gather)
+#: and the ``decode.width_scaling`` batch-width block.
+PROFILE_SCHEMA_VERSION = 3
 
 _REQUIRED_OPS = (
     "chunk_prefill",
@@ -53,6 +55,7 @@ _REQUIRED_OPS = (
     "serve_pipelined",
     "decode_sequential",
     "decode_batched",
+    "decode_session",
     "serialize_kv",
     "deserialize_kv",
 )
@@ -243,32 +246,44 @@ def _measure_served_ttfts(
 
 
 def _decode_prompt_caches(
-    model: TransformerModel, config: "ProfileConfig", rng: np.random.Generator
+    model: TransformerModel,
+    config: "ProfileConfig",
+    rng: np.random.Generator,
+    n_requests: int | None = None,
 ):
-    """Prefill one prompt per batched-decode request; returns (caches, tokens)."""
+    """Prefill one prompt per batched-decode request; returns (caches, tokens).
+
+    Shared by the decode-op comparison and the batch-width scaling probe
+    (which passes its own ``n_requests``), so both measure the same prompt
+    shape and token stream construction.
+    """
+    if n_requests is None:
+        n_requests = config.decode_batch_size
     prefills = [
         model.full_prefill(_random_token_ids(model, config.chunk_tokens, rng)).kv_cache
-        for _ in range(config.decode_batch_size)
+        for _ in range(n_requests)
     ]
-    tokens = _random_token_ids(
-        model, (config.decode_batch_size, config.decode_tokens), rng
-    )
+    tokens = _random_token_ids(model, (n_requests, config.decode_tokens), rng)
     return prefills, tokens
 
 
 def measure_decode_ops(
     model: TransformerModel, config: "ProfileConfig", rng: np.random.Generator
 ) -> tuple[dict[str, dict[str, float | int]], dict[str, object]]:
-    """Time batched vs sequential decode of the same B×T token workload.
+    """Time session vs batched vs sequential decode of one B×T workload.
 
     ``decode_sequential`` steps each of the B requests alone — one
     :meth:`~repro.model.transformer.TransformerModel.decode_step` per token
     per request, B·T single-token passes.  ``decode_batched`` steps all B
     requests per :meth:`~repro.model.transformer.TransformerModel.
     decode_batch` call — T batched passes, amortising the per-layer dispatch
-    overhead across the batch.  Both run on preallocated
-    :class:`~repro.model.tensors.GrowableKVCache` buffers over identical
-    token streams, so the comparison isolates the batching.
+    overhead across the batch, but re-gathering every request's full K/V
+    into per-call scratch each step.  ``decode_session`` runs the same T
+    lock-step passes on a persistent
+    :class:`~repro.model.tensors.DecodeSession` pad — steady-state steps
+    write only each request's appended row (the serving loop's decode path).
+    All three consume identical token streams, so the comparison isolates
+    the batching and the buffer strategy.
     """
     prefills, tokens = _decode_prompt_caches(model, config, rng)
     n_tokens = config.decode_tokens
@@ -289,20 +304,128 @@ def measure_decode_ops(
         for step in range(n_tokens):
             model.decode_batch(caches, tokens[:, step])
 
+    def run_session() -> None:
+        session = model.new_decode_session(
+            slot_capacity=config.decode_batch_size
+        )
+        for i, cache in enumerate(prefills):
+            session.join(i, cache, reserve=n_tokens)
+        for step in range(n_tokens):
+            model.decode_session_step(session, tokens[:, step])
+        for i in range(len(prefills)):
+            session.leave(i)
+
     ops = {
         "decode_sequential": _time_op(run_sequential, config.repeats, config.warmup),
         "decode_batched": _time_op(run_batched, config.repeats, config.warmup),
+        "decode_session": _time_op(run_session, config.repeats, config.warmup),
     }
     sequential = float(ops["decode_sequential"]["min_s"])
     batched = float(ops["decode_batched"]["min_s"])
+    session = float(ops["decode_session"]["min_s"])
     block: dict[str, object] = {
         "batch_size": config.decode_batch_size,
         "n_tokens": n_tokens,
         "sequential_total_s": sequential,
         "batched_total_s": batched,
         "batched_speedup": sequential / batched if batched > 0 else float("inf"),
+        "session_total_s": session,
+        "session_speedup_vs_sequential": (
+            sequential / session if session > 0 else float("inf")
+        ),
+        "session_vs_batched": batched / session if session > 0 else float("inf"),
     }
     return ops, block
+
+
+def measure_decode_width_scaling(
+    model: TransformerModel,
+    config: "ProfileConfig",
+    rng: np.random.Generator,
+    widths: tuple[int, ...] | None = None,
+) -> dict[str, object]:
+    """Per-step session decode cost as a function of batch width.
+
+    For each width W, W requests (prompts of ``chunk_tokens`` tokens) join a
+    :class:`~repro.model.tensors.DecodeSession` and decode ``decode_tokens``
+    tokens in lock-step; the best-of-``repeats`` per-step wall-clock is
+    reported beside a per-call :meth:`~repro.model.transformer.
+    TransformerModel.decode_batch` reference over the same caches.  The
+    amortisation column is what the width-aware
+    :class:`~repro.serving.costmodel.OnlineCostCalibration` buckets model:
+    one width-W step costs far less than W × the width-1 step.
+    """
+    if widths is None:
+        widths = tuple(sorted({1, 2, config.decode_batch_size}))
+    if any(w < 1 for w in widths):
+        raise ValueError("widths must be >= 1")
+    n_tokens = config.decode_tokens
+    # The per-step quantities compared across widths are small (ms); floor
+    # the sampling so a repeats=1/no-warmup test config still yields stable
+    # minima (first-call allocator/cache effects dominate single samples).
+    repeats = max(config.repeats, 3)
+    warmup = max(config.warmup, 1)
+    prefills, tokens = _decode_prompt_caches(model, config, rng, n_requests=max(widths))
+
+    s_per_step: list[float] = []
+    batched_s_per_step: list[float] = []
+    for width in widths:
+
+        def run_session() -> None:
+            session = model.new_decode_session(slot_capacity=width)
+            for i in range(width):
+                session.join(i, prefills[i], reserve=n_tokens)
+            for step in range(n_tokens):
+                model.decode_session_step(session, tokens[:width, step])
+            for i in range(width):
+                session.leave(i)
+
+        def run_batched() -> None:
+            caches = [
+                GrowableKVCache.from_kv_cache(prefills[i], reserve=n_tokens)
+                for i in range(width)
+            ]
+            for step in range(n_tokens):
+                model.decode_batch(caches, tokens[:width, step])
+
+        # Interleave the two runners so clock drift and scheduler bursts hit
+        # both sides of the session-vs-batched comparison equally.
+        session_samples: list[float] = []
+        batched_samples: list[float] = []
+        for _ in range(warmup):
+            run_session()
+            run_batched()
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run_session()
+            session_samples.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            run_batched()
+            batched_samples.append(time.perf_counter() - start)
+        s_per_step.append(min(session_samples) / n_tokens)
+        batched_s_per_step.append(min(batched_samples) / n_tokens)
+
+    baseline_width = 1 if 1 in widths else min(widths)
+    baseline = s_per_step[widths.index(baseline_width)]
+    return {
+        "widths": list(widths),
+        "n_tokens": n_tokens,
+        "session_s_per_step": s_per_step,
+        "batched_s_per_step": batched_s_per_step,
+        "tokens_per_s": [
+            w / s if s > 0 else float("inf") for w, s in zip(widths, s_per_step)
+        ],
+        # One width-W step vs W/baseline independent baseline-width steps:
+        # the scheduler-level amortisation the width-aware calibration
+        # buckets capture.  The baseline is width 1 whenever measured (the
+        # default); ``baseline_width`` records it so a custom widths tuple
+        # without 1 cannot silently mislabel the column.
+        "baseline_width": baseline_width,
+        "amortisation_vs_sequential": [
+            (w / baseline_width * baseline) / s if s > 0 else float("inf")
+            for w, s in zip(widths, s_per_step)
+        ],
+    }
 
 
 def measure_decode_scaling(
@@ -388,7 +511,7 @@ def run_profile(config: ProfileConfig | None = None) -> dict[str, object]:
     # ---- measured serving TTFT (workload -> engine -> executor) ----------
     ops["serve_pipelined"] = _stats(_measure_served_ttfts(model, config))
 
-    # ---- batched vs sequential decode + per-token scaling ----------------
+    # ---- session vs batched vs sequential decode + scaling ---------------
     decode_ops, decode_block = measure_decode_ops(model, config, rng)
     ops.update(decode_ops)
     decode_block["scaling"] = measure_decode_scaling(
@@ -397,6 +520,7 @@ def run_profile(config: ProfileConfig | None = None) -> dict[str, object]:
         window=min(config.decode_tokens, 32),
         seed=config.seed,
     )
+    decode_block["width_scaling"] = measure_decode_width_scaling(model, config, rng)
 
     return {
         "schema_version": PROFILE_SCHEMA_VERSION,
@@ -447,15 +571,39 @@ def validate_profile_report(document: dict[str, object]) -> None:
     if pipeline["measured_speedup"] <= 0:
         raise ValueError("measured_speedup must be positive")
     decode = document["decode"]
-    for key in ("batch_size", "n_tokens", "batched_speedup", "scaling"):
+    for key in (
+        "batch_size",
+        "n_tokens",
+        "batched_speedup",
+        "session_total_s",
+        "session_speedup_vs_sequential",
+        "session_vs_batched",
+        "scaling",
+        "width_scaling",
+    ):
         if key not in decode:
             raise ValueError(f"decode block is missing key {key!r}")
     if decode["batched_speedup"] <= 0:
         raise ValueError("batched_speedup must be positive")
+    if decode["session_speedup_vs_sequential"] <= 0:
+        raise ValueError("session_speedup_vs_sequential must be positive")
     if "per_token_growth" not in decode["scaling"]:
         raise ValueError("decode scaling block is missing key 'per_token_growth'")
     if decode["scaling"]["per_token_growth"] <= 0:
         raise ValueError("per_token_growth must be positive")
+    width_scaling = decode["width_scaling"]
+    for key in (
+        "widths",
+        "session_s_per_step",
+        "batched_s_per_step",
+        "amortisation_vs_sequential",
+    ):
+        if key not in width_scaling:
+            raise ValueError(f"decode width_scaling block is missing key {key!r}")
+        if key != "widths" and len(width_scaling[key]) != len(width_scaling["widths"]):
+            raise ValueError(f"width_scaling {key!r} length differs from widths")
+    if any(s <= 0 for s in width_scaling["session_s_per_step"]):
+        raise ValueError("width_scaling per-step timings must be positive")
 
 
 def profile_filename(tag: str = "") -> str:
@@ -484,6 +632,7 @@ def check_against_baseline(
         "fuse_pipelined",
         "serve_pipelined",
         "decode_batched",
+        "decode_session",
     ),
 ) -> list[str]:
     """Compare *document* against a checked-in *baseline*; returns failures.
@@ -493,8 +642,9 @@ def check_against_baseline(
     CI runners doesn't trip the gate; ``max_regression`` absorbs hardware
     differences between the baseline machine and the runner.  Gated ops are
     the fuse wall-clocks, the measured end-to-end serving TTFT
-    (``serve_pipelined``) *and* the batched decode wall-clock
-    (``decode_batched``); ops absent from an older baseline are skipped.
+    (``serve_pipelined``), the batched decode wall-clock (``decode_batched``)
+    *and* the session decode wall-clock (``decode_session``, the serving
+    loop's steady-state path); ops absent from an older baseline are skipped.
     """
     failures: list[str] = []
     base_ops = baseline.get("ops", {})
@@ -542,5 +692,23 @@ def format_profile_summary(document: dict[str, object]) -> str:
         f"batched {decode['batched_total_s'] * 1e3:.1f} ms); "
         f"per-token growth over {scaling['n_tokens']} tokens: "
         f"{scaling['per_token_growth']:.2f}x"
+    )
+    lines.append(
+        f"decode session (persistent pad, same workload): "
+        f"{decode['session_total_s'] * 1e3:.1f} ms "
+        f"({decode['session_speedup_vs_sequential']:.2f}x vs sequential, "
+        f"{decode['session_vs_batched']:.2f}x vs per-call batched)"
+    )
+    width = decode["width_scaling"]
+    lines.append(
+        "session step by batch width: "
+        + ", ".join(
+            f"w={w}: {s * 1e3:.2f} ms/step ({a:.2f}x amortised)"
+            for w, s, a in zip(
+                width["widths"],
+                width["session_s_per_step"],
+                width["amortisation_vs_sequential"],
+            )
+        )
     )
     return "\n".join(lines)

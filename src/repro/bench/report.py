@@ -5,7 +5,7 @@ One report is a single JSON document with a versioned schema:
 .. code-block:: text
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "created": "<ISO-8601 UTC timestamp>",
       "tag": "<free-form label, e.g. 'smoke'>",
       "config": { ...ExperimentConfig fields... },
@@ -28,7 +28,8 @@ from pathlib import Path
 
 from repro.bench.experiment import ExperimentReport
 
-SCHEMA_VERSION = 1
+#: v2 adds the per-cell ``mean_decode_tokens_per_s`` decode-throughput column.
+SCHEMA_VERSION = 2
 
 _REQUIRED_TOP_LEVEL = ("schema_version", "created", "tag", "config", "workload", "cells")
 _REQUIRED_CELL_FIELDS = (
@@ -44,6 +45,7 @@ _REQUIRED_CELL_FIELDS = (
     "mean_recomputed_fraction",
     "quality",
     "quality_adjusted_ttft",
+    "mean_decode_tokens_per_s",
 )
 
 
@@ -82,6 +84,8 @@ def validate_report(document: dict[str, object]) -> None:
             raise ValueError(f"cell {i} has an out-of-range recompute fraction")
         if cell["mean_ttft"] < 0.0:
             raise ValueError(f"cell {i} has a negative mean TTFT")
+        if cell["mean_decode_tokens_per_s"] < 0.0:
+            raise ValueError(f"cell {i} has a negative decode throughput")
     comparisons = document.get("comparisons", [])
     if not isinstance(comparisons, list):
         raise ValueError("'comparisons' must be a list")

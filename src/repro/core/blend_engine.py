@@ -17,7 +17,9 @@ Two execution modes serve a request:
   :class:`~repro.core.pipeline.PipelineTrace` whose load/compute/stall spans
   are wall-clock facts.  ``run_batch`` additionally pipelines *across*
   requests — request B's layer 0 loads while request A's tail layers
-  recompute.  Measured spans feed the cost model's
+  recompute — and decodes the whole batch in lock-step on one persistent
+  :class:`~repro.model.tensors.DecodeSession`, one session step per
+  scheduler iteration.  Measured spans feed the cost model's
   :class:`~repro.serving.costmodel.OnlineCostCalibration` so scheduler cost
   estimates track observed rates.
 
@@ -50,7 +52,6 @@ from repro.kvstore.device import StorageDevice, get_device
 from repro.kvstore.serialization import quantize_kv_to_store_dtype
 from repro.kvstore.store import KVCacheStore, chunk_key
 from repro.model.config import PAPER_MODEL_PAIRS, ModelConfig, get_config
-from repro.model.tensors import GrowableKVCache
 from repro.model.transformer import TransformerModel
 from repro.serving.costmodel import GPUSpec, OnlineCostCalibration, ServingCostModel
 from repro.tokenizer.tokenizer import Tokenizer
@@ -69,11 +70,14 @@ class BlendResult:
     carries the analytical estimate so the two can be compared side by side;
     ``measured_ttft``/``trace`` are populated by the pipelined path only.
     A pipelined ``measured_ttft`` runs to the first emitted token: it folds
-    in ``measured_first_decode_s``, the wall-clock of one decode step through
-    :meth:`~repro.model.transformer.TransformerModel.decode_batch` on a
-    preallocated :class:`~repro.model.tensors.GrowableKVCache` (the analytic
+    in ``measured_first_decode_s``, the wall-clock of the first co-batched
+    :class:`~repro.model.tensors.DecodeSession` step (the analytic
     ``ttft_estimate`` prices that step with the cost model, so the two stay
-    comparable).
+    comparable).  Generation is decoded in lock-step across the whole
+    pipelined batch — one session step per iteration — so the first step is
+    shared: every request of the batch carries the same
+    ``measured_first_decode_s``, and ``decode_batch_width`` records how many
+    requests that step decoded together.
 
     ``cache_stats`` is this request's *own* hit/miss accounting (KV store and
     tokenizer), counted locally while the request executed — it never reads
@@ -95,10 +99,13 @@ class BlendResult:
     #: Measured load-wait inside this request's pipeline (queueing behind
     #: earlier batch requests excluded); pipelined mode only.
     measured_stall: float | None = None
-    #: Measured wall-clock of the first decode step (batched decode path on a
-    #: preallocated cache), already folded into ``measured_ttft``; pipelined
-    #: mode only.
+    #: Measured wall-clock of the first decode step (one co-batched
+    #: ``DecodeSession`` step shared by the whole pipelined batch), already
+    #: folded into ``measured_ttft``; pipelined mode only.
     measured_first_decode_s: float | None = None
+    #: How many requests the first decode step was co-batched with (the
+    #: session width at that step); pipelined mode only.
+    decode_batch_width: int | None = None
     trace: PipelineTrace | None = None
     cache_stats: dict[str, int] = field(default_factory=dict)
 
@@ -409,39 +416,68 @@ class BlendEngine:
                 recompute_counts=fusion.recompute_counts,
             )
 
-    def _measure_first_decode(
-        self, fusion: FusionResult, max_new_tokens: int
-    ) -> tuple[float, list[int]]:
-        """Execute the first decode step, measured, then finish generating.
+    def _decode_session_batch(
+        self, fusions: list[FusionResult], max_new_tokens: int
+    ) -> tuple[float, list[list[int]]]:
+        """Co-batched generation for every pipelined request of a batch.
 
-        The fused cache is copied once into a preallocated
-        :class:`~repro.model.tensors.GrowableKVCache` (setup, outside the
-        timed span — a persistent engine would have prefilled into such
-        buffers directly); the timed span is exactly one
-        :meth:`~repro.model.transformer.TransformerModel.decode_batch` step,
-        the same per-iteration unit the continuous-batching scheduler paces
-        decode with.  The measurement feeds the cost model's online decode
-        calibration.  Returns ``(measured_seconds, generated_ids)``.
+        All requests join one persistent
+        :class:`~repro.model.tensors.DecodeSession` (their fused caches are
+        copied into the padded slots once — setup, outside the timed spans;
+        a persistent engine would have prefilled into the pad directly), and
+        generation runs Orca-style lock-step: **one session step per
+        scheduler iteration**, replacing the former N independent
+        ``generate`` calls.  Steady-state steps write only each member's
+        appended row; requests leave the session — freeing their slot — the
+        moment they finish, so peak resident KV tracks the live batch.
+
+        The first step is timed exactly (the per-iteration unit the
+        continuous-batching scheduler paces decode with) and every executed
+        step feeds the cost model's width-aware decode calibration, tagged
+        with its batch width.  Returns ``(first_step_seconds,
+        generated_ids_per_request)``.
         """
-        cache = GrowableKVCache.from_kv_cache(
-            fusion.kv_cache, reserve=max(1, max_new_tokens)
-        )
-        first_id = int(np.argmax(fusion.last_logits))
-        start = time.perf_counter()
-        logits, cache = self.model.decode_step(cache, first_id)
-        measured = time.perf_counter() - start
         calibration = self.controller.cost_model.calibration
-        if calibration is not None:
-            calibration.observe_decode(measured)
-        generated: list[int] = []
-        if max_new_tokens > 0 and first_id != self.tokenizer.eos_id:
-            generated = [first_id] + self.model.generate(
-                cache,
-                logits,
+
+        def observe(step_seconds: float, batch_width: int) -> None:
+            if calibration is not None:
+                calibration.observe_decode(step_seconds, batch_width=batch_width)
+
+        session = self.model.new_decode_session(
+            slot_capacity=max(1, len(fusions))
+        )
+        for index, fusion in enumerate(fusions):
+            session.join(index, fusion.kv_cache, reserve=max(1, max_new_tokens))
+        # The first token of every request is decoded in one shared, measured
+        # step (mirroring the per-request measured first step this replaces,
+        # which also ran regardless of EOS or a zero token budget).
+        first_ids = [int(np.argmax(fusion.last_logits)) for fusion in fusions]
+        start = time.perf_counter()
+        step_logits = self.model.decode_session_step(session, first_ids)
+        first_step_s = time.perf_counter() - start
+        observe(first_step_s, session.n_members)
+
+        generated: list[list[int]] = [[] for _ in fusions]
+        for index, first_id in enumerate(first_ids):
+            if max_new_tokens > 0 and first_id != self.tokenizer.eos_id:
+                generated[index] = [first_id]
+            else:
+                session.leave(index)
+        if session.n_members and max_new_tokens > 1:
+            order = list(session.member_ids)
+            rest = self.model.generate_session(
+                session,
+                [step_logits[index] for index in order],
                 max_new_tokens=max_new_tokens - 1,
                 eos_id=self.tokenizer.eos_id,
+                on_step=observe,
             )
-        return measured, generated
+            for index, tokens in zip(order, rest):
+                generated[index].extend(tokens)
+        else:
+            for index in list(session.member_ids):
+                session.leave(index)
+        return first_step_s, generated
 
     def _finish(
         self,
@@ -454,7 +490,18 @@ class BlendEngine:
         measured_ttft: float | None = None,
         measured_stall: float | None = None,
         trace: PipelineTrace | None = None,
+        generated: list[int] | None = None,
+        measured_first_decode_s: float | None = None,
+        decode_batch_width: int | None = None,
     ) -> BlendResult:
+        """Assemble one request's :class:`BlendResult`.
+
+        Pipelined callers pass the request's share of the co-batched session
+        decode (``generated``, the shared ``measured_first_decode_s`` and
+        the ``decode_batch_width``); the first decode step is folded into
+        the measured TTFT here.  Analytic callers generate per request
+        through the legacy (unbatched) path.
+        """
         ttft_estimate = self._estimate_ttft(
             inputs.context_tokens,
             int(inputs.suffix_ids.size),
@@ -462,13 +509,8 @@ class BlendEngine:
             ratio,
             decision.device,
         )
-        generated: list[int] = []
-        measured_first_decode_s: float | None = None
         if mode == "pipelined":
-            measured_first_decode_s, generated = self._measure_first_decode(
-                fusion, max_new_tokens
-            )
-            if measured_ttft is not None:
+            if measured_ttft is not None and measured_first_decode_s is not None:
                 measured_ttft += measured_first_decode_s
         elif max_new_tokens > 0:
             generated = self.model.generate(
@@ -483,7 +525,7 @@ class BlendEngine:
             decision=decision,
             cache_hits=inputs.hits,
             cache_misses=inputs.misses,
-            generated_ids=generated,
+            generated_ids=generated or [],
             n_context_tokens=inputs.context_tokens,
             n_suffix_tokens=int(inputs.suffix_ids.size),
             execution=mode,
@@ -491,6 +533,7 @@ class BlendEngine:
             measured_ttft=measured_ttft,
             measured_stall=measured_stall,
             measured_first_decode_s=measured_first_decode_s,
+            decode_batch_width=decode_batch_width,
             trace=trace,
             cache_stats=dict(inputs.stats),
         )
@@ -524,6 +567,9 @@ class BlendEngine:
                 pipelined=True,
             )
             self._observe(executed.trace, inputs, executed.fusion)
+            first_decode_s, generated = self._decode_session_batch(
+                [executed.fusion], max_new_tokens
+            )
             return self._finish(
                 inputs,
                 executed.fusion,
@@ -534,6 +580,9 @@ class BlendEngine:
                 measured_ttft=executed.total_time + inputs.miss_prefill_s,
                 measured_stall=executed.stall_time,
                 trace=executed.trace,
+                generated=generated[0],
+                measured_first_decode_s=first_decode_s,
+                decode_batch_width=1,
             )
 
         fusion = self.fusor.fuse(
@@ -564,7 +613,11 @@ class BlendEngine:
         *cross-request* pipelining — while request A's tail layers recompute,
         request B's layer-0 KV is already streaming off the device — and each
         result's measured TTFT is its completion offset in the batch
-        (queueing behind earlier requests included).
+        (queueing behind earlier requests included).  Generation is then
+        co-batched: every request joins one persistent
+        :class:`~repro.model.tensors.DecodeSession` and the batch decodes in
+        lock-step, one session step per iteration (the measured first step,
+        shared across the batch, is folded into each measured TTFT).
         """
         mode = self._resolve_execution(execution)
         if mode == "analytic":
@@ -588,9 +641,15 @@ class BlendEngine:
             recompute_ratio=[ratio for _, ratio in decisions],
             pipelined=True,
         )
-        results: list[BlendResult] = []
-        for inputs, (decision, ratio), request in zip(gathered, decisions, executed):
+        for inputs, request in zip(gathered, executed):
             self._observe(request.trace, inputs, request.fusion)
+        first_decode_s, generated = self._decode_session_batch(
+            [request.fusion for request in executed], max_new_tokens
+        )
+        results: list[BlendResult] = []
+        for index, (inputs, (decision, ratio), request) in enumerate(
+            zip(gathered, decisions, executed)
+        ):
             results.append(
                 self._finish(
                     inputs,
@@ -602,6 +661,9 @@ class BlendEngine:
                     measured_ttft=request.total_time + inputs.miss_prefill_s,
                     measured_stall=request.stall_time,
                     trace=request.trace,
+                    generated=generated[index],
+                    measured_first_decode_s=first_decode_s,
+                    decode_batch_width=len(executed),
                 )
             )
         return results

@@ -5,9 +5,14 @@ blobs.  ``kv_nbytes`` is the size accounting the storage devices and the
 loading-delay estimator use; ``serialize_kv``/``deserialize_kv`` produce real
 byte buffers so the store can optionally persist caches to files on disk.
 
-Two wire formats exist:
+Three wire formats exist:
 
-* ``RPKV2`` (current, written by :func:`serialize_kv`): a JSON shape/dtype
+* ``RPKV3`` (current, written by ``serialize_kv(..., kv_dtype="int8")``):
+  the JSON header followed by token ids, positions, then per layer a
+  ``float32`` (k_scale, v_scale) pair and the int8-quantised K/V bytes.
+  The symmetric per-tensor scale (``max|x| / 127``) executes the 1-byte KV
+  round-trip the cost model's ``dtype_bytes=1`` presets already price.
+* ``RPKV2`` (fp16 default of :func:`serialize_kv`): a JSON shape/dtype
   header followed by the raw C-order array bytes of the token ids, positions
   and per-layer fp16 K/V tensors.  Loading is a zero-copy
   ``np.frombuffer`` + ``reshape`` per array — no zip container, no pickle.
@@ -27,10 +32,16 @@ from repro.model.tensors import KVCache, LayerKV
 
 _MAGIC_V1 = b"RPKV1\n"
 _MAGIC_V2 = b"RPKV2\n"
+_MAGIC_V3 = b"RPKV3\n"
 
 #: On-disk dtype of the KV payload (the paper stores KV caches in fp16).
 _KV_DTYPE = np.dtype(np.float16)
+_INT8_DTYPE = np.dtype(np.int8)
+_SCALE_DTYPE = np.dtype(np.float32)
 _IDX_DTYPE = np.dtype(np.int64)
+
+#: KV payload dtypes :func:`serialize_kv` can write.
+KV_STORE_DTYPES = ("float16", "int8")
 
 
 def kv_nbytes(cache: KVCache, dtype_bytes: int = 2) -> int:
@@ -69,36 +80,109 @@ def unpack_layer_kv(
     return LayerKV(keys, values)
 
 
-def quantize_kv_to_store_dtype(cache: KVCache) -> KVCache:
-    """Round-trip *cache* through the fp16 store dtype, in memory.
+def int8_scale(tensor: np.ndarray) -> np.float32:
+    """Symmetric per-tensor int8 scale: ``max|x| / 127`` (1.0 for all-zero)."""
+    peak = float(np.max(np.abs(tensor))) if tensor.size else 0.0
+    return np.float32(peak / 127.0 if peak > 0.0 else 1.0)
 
-    Returns exactly the cache that persisting with :func:`serialize_kv` and
-    loading again would produce (fp16 payload up-cast to the float32 compute
-    dtype).  :class:`~repro.core.blend_engine.BlendEngine` stores chunk
-    caches through this so its in-memory fusion path and the
+
+def quantize_int8(tensor: np.ndarray, scale: np.float32) -> np.ndarray:
+    """Quantise *tensor* to int8 at *scale* (round-to-nearest, clipped)."""
+    quantised = np.round(np.asarray(tensor, dtype=np.float32) / scale)
+    return np.clip(quantised, -127, 127).astype(_INT8_DTYPE)
+
+
+def dequantize_int8(quantised: np.ndarray, scale: np.float32) -> np.ndarray:
+    """Inverse of :func:`quantize_int8` (float32 compute dtype)."""
+    return quantised.astype(np.float32) * np.float32(scale)
+
+
+def pack_layer_kv_int8(layer: LayerKV) -> bytes:
+    """int8 bytes of one layer: (k_scale, v_scale) float32 pair, then the
+    quantised keys and values, C order."""
+    k_scale = int8_scale(layer.keys)
+    v_scale = int8_scale(layer.values)
+    return (
+        np.array([k_scale, v_scale], dtype=_SCALE_DTYPE).tobytes()
+        + quantize_int8(layer.keys, k_scale).tobytes()
+        + quantize_int8(layer.values, v_scale).tobytes()
+    )
+
+
+def unpack_layer_kv_int8(
+    data: bytes, n_tokens: int, n_kv_heads: int, head_dim: int, offset: int = 0
+) -> LayerKV:
+    """Inverse of :func:`pack_layer_kv_int8` (dequantised to float32)."""
+    scales = np.frombuffer(data, dtype=_SCALE_DTYPE, count=2, offset=offset)
+    offset += 2 * _SCALE_DTYPE.itemsize
+    shape = (n_tokens, n_kv_heads, head_dim)
+    count = n_tokens * n_kv_heads * head_dim
+    keys = np.frombuffer(data, dtype=_INT8_DTYPE, count=count, offset=offset).reshape(shape)
+    values = np.frombuffer(
+        data, dtype=_INT8_DTYPE, count=count, offset=offset + count
+    ).reshape(shape)
+    return LayerKV(dequantize_int8(keys, scales[0]), dequantize_int8(values, scales[1]))
+
+
+def _int8_layer_nbytes(n_tokens: int, n_kv_heads: int, head_dim: int) -> int:
+    return 2 * _SCALE_DTYPE.itemsize + 2 * n_tokens * n_kv_heads * head_dim
+
+
+def quantize_kv_to_store_dtype(cache: KVCache, kv_dtype: str = "float16") -> KVCache:
+    """Round-trip *cache* through the store dtype, in memory.
+
+    Returns exactly the cache that persisting with :func:`serialize_kv` (at
+    the same ``kv_dtype``) and loading again would produce — fp16 payload
+    up-cast to the float32 compute dtype, or int8 dequantised at the
+    per-tensor scale.  :class:`~repro.core.blend_engine.BlendEngine` stores
+    chunk caches through this so its in-memory fusion path and the
     :class:`~repro.core.executor.PipelinedExecutor`'s byte-level load path
     see bit-identical KV — the store never silently holds more precision
     than it is priced (and serialized) at.
     """
-    layers = [
-        LayerKV(
-            np.asarray(layer.keys, dtype=_KV_DTYPE),
-            np.asarray(layer.values, dtype=_KV_DTYPE),
+    if kv_dtype not in KV_STORE_DTYPES:
+        raise ValueError(
+            f"unknown kv_dtype {kv_dtype!r}; expected one of {KV_STORE_DTYPES}"
         )
-        for layer in cache.layers
-    ]
+    if kv_dtype == "int8":
+        layers = []
+        for layer in cache.layers:
+            k_scale = int8_scale(layer.keys)
+            v_scale = int8_scale(layer.values)
+            layers.append(
+                LayerKV(
+                    dequantize_int8(quantize_int8(layer.keys, k_scale), k_scale),
+                    dequantize_int8(quantize_int8(layer.values, v_scale), v_scale),
+                )
+            )
+    else:
+        layers = [
+            LayerKV(
+                np.asarray(layer.keys, dtype=_KV_DTYPE),
+                np.asarray(layer.values, dtype=_KV_DTYPE),
+            )
+            for layer in cache.layers
+        ]
     return KVCache(layers, cache.token_ids.copy(), cache.positions.copy())
 
 
 # ----------------------------------------------------------------------
 # Whole-cache serialization
 # ----------------------------------------------------------------------
-def serialize_kv(cache: KVCache) -> bytes:
-    """Serialise *cache* into a self-describing byte string (fp16 payload).
+def serialize_kv(cache: KVCache, kv_dtype: str = "float16") -> bytes:
+    """Serialise *cache* into a self-describing byte string.
 
-    Writes the ``RPKV2`` raw format: header, token ids, positions, then each
-    layer's K/V bytes back to back.
+    ``kv_dtype="float16"`` (default) writes the ``RPKV2`` raw format:
+    header, token ids, positions, then each layer's fp16 K/V bytes back to
+    back.  ``kv_dtype="int8"`` writes ``RPKV3``: the same layout with each
+    layer prefixed by its float32 (k_scale, v_scale) pair and the K/V
+    payload quantised to one byte per element — the executed counterpart of
+    the ``dtype_bytes=1`` pricing presets.
     """
+    if kv_dtype not in KV_STORE_DTYPES:
+        raise ValueError(
+            f"unknown kv_dtype {kv_dtype!r}; expected one of {KV_STORE_DTYPES}"
+        )
     if cache.layers:
         n_kv_heads = cache.layers[0].keys.shape[1]
         head_dim = cache.layers[0].keys.shape[2]
@@ -111,34 +195,39 @@ def serialize_kv(cache: KVCache) -> bytes:
                 )
     else:
         n_kv_heads = head_dim = 0
+    int8 = kv_dtype == "int8"
     header = {
         "n_layers": cache.n_layers,
         "n_tokens": cache.n_tokens,
         "n_kv_heads": n_kv_heads,
         "head_dim": head_dim,
-        "kv_dtype": _KV_DTYPE.name,
+        "kv_dtype": _INT8_DTYPE.name if int8 else _KV_DTYPE.name,
         "idx_dtype": _IDX_DTYPE.name,
     }
+    if int8:
+        header["scale_dtype"] = _SCALE_DTYPE.name
     header_bytes = json.dumps(header).encode("utf-8")
     parts = [
-        _MAGIC_V2,
+        _MAGIC_V3 if int8 else _MAGIC_V2,
         len(header_bytes).to_bytes(4, "little"),
         header_bytes,
         np.ascontiguousarray(cache.token_ids, dtype=_IDX_DTYPE).tobytes(),
         np.ascontiguousarray(cache.positions, dtype=_IDX_DTYPE).tobytes(),
     ]
     for layer in cache.layers:
-        parts.append(pack_layer_kv(layer))
+        parts.append(pack_layer_kv_int8(layer) if int8 else pack_layer_kv(layer))
     return b"".join(parts)
 
 
 def deserialize_kv(data: bytes) -> KVCache:
-    """Inverse of :func:`serialize_kv`; also reads the legacy ``RPKV1`` format.
+    """Inverse of :func:`serialize_kv`; reads all of ``RPKV1``/``2``/``3``.
 
     The fp16 payload is up-cast to the float32 compute dtype by
     :class:`~repro.model.tensors.LayerKV` (not to float64 as older versions
-    did).
+    did); an int8 payload is dequantised at its per-tensor scales.
     """
+    if data.startswith(_MAGIC_V3):
+        return _deserialize_v3(data)
     if data.startswith(_MAGIC_V2):
         return _deserialize_v2(data)
     if data.startswith(_MAGIC_V1):
@@ -183,6 +272,39 @@ def _deserialize_v2(data: bytes) -> KVCache:
     return KVCache(layers, token_ids, positions)
 
 
+def _deserialize_v3(data: bytes) -> KVCache:
+    header, offset = _read_header(data, _MAGIC_V3)
+    n_layers = header["n_layers"]
+    n_tokens = header["n_tokens"]
+    n_kv_heads = header["n_kv_heads"]
+    head_dim = header["head_dim"]
+    kv_dtype = np.dtype(header["kv_dtype"])
+    idx_dtype = np.dtype(header["idx_dtype"])
+    if kv_dtype != _INT8_DTYPE:
+        raise ValueError(
+            f"unsupported kv_dtype {kv_dtype.name!r} in RPKV3 header; "
+            f"this version decodes {_INT8_DTYPE.name} payloads only"
+        )
+    if np.dtype(header.get("scale_dtype", _SCALE_DTYPE.name)) != _SCALE_DTYPE:
+        raise ValueError(
+            f"unsupported scale_dtype {header['scale_dtype']!r} in RPKV3 header"
+        )
+
+    token_ids = np.frombuffer(data, dtype=idx_dtype, count=n_tokens, offset=offset)
+    offset += n_tokens * idx_dtype.itemsize
+    positions = np.frombuffer(data, dtype=idx_dtype, count=n_tokens, offset=offset)
+    offset += n_tokens * idx_dtype.itemsize
+
+    layer_bytes = _int8_layer_nbytes(n_tokens, n_kv_heads, head_dim)
+    layers = []
+    for _ in range(n_layers):
+        layers.append(
+            unpack_layer_kv_int8(data, n_tokens, n_kv_heads, head_dim, offset=offset)
+        )
+        offset += layer_bytes
+    return KVCache(layers, token_ids, positions)
+
+
 def _deserialize_v1(data: bytes) -> KVCache:
     """Legacy ``np.savez``-based format."""
     buffer = io.BytesIO(data)
@@ -197,9 +319,13 @@ def _deserialize_v1(data: bytes) -> KVCache:
     return KVCache(layers, archive["token_ids"], archive["positions"])
 
 
-def save_kv(cache: KVCache, path: str) -> int:
-    """Persist *cache* to *path*; returns the number of bytes written."""
-    payload = serialize_kv(cache)
+def save_kv(cache: KVCache, path: str, kv_dtype: str = "float16") -> int:
+    """Persist *cache* to *path*; returns the number of bytes written.
+
+    ``kv_dtype`` selects the payload format exactly as in
+    :func:`serialize_kv` (``"float16"`` → RPKV2, ``"int8"`` → RPKV3).
+    """
+    payload = serialize_kv(cache, kv_dtype=kv_dtype)
     with open(path, "wb") as handle:
         handle.write(payload)
     return len(payload)

@@ -14,7 +14,9 @@ batch-of-one special case.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -26,7 +28,7 @@ from repro.model.attention import (
 from repro.model.config import ModelConfig
 from repro.model.layers import ModelWeights, init_weights, rms_norm, swiglu
 from repro.model.rope import apply_rope
-from repro.model.tensors import GrowableKVCache, KVCache, LayerKV
+from repro.model.tensors import DecodeSession, GrowableKVCache, KVCache, LayerKV
 
 
 @dataclass
@@ -373,6 +375,119 @@ class TransformerModel:
         normalised = rms_norm(hidden, self.weights.norm_final)
         return normalised @ self.weights.lm_head
 
+    # ------------------------------------------------------------------
+    # Decode sessions (persistent padded batch buffers across steps)
+    # ------------------------------------------------------------------
+    def new_decode_session(
+        self, token_capacity: int = 64, slot_capacity: int = 4
+    ) -> DecodeSession:
+        """A :class:`~repro.model.tensors.DecodeSession` sized for this model."""
+        cfg = self.config
+        return DecodeSession(
+            cfg.n_layers,
+            cfg.n_kv_heads,
+            cfg.head_dim,
+            dtype=cfg.np_dtype,
+            token_capacity=token_capacity,
+            slot_capacity=slot_capacity,
+        )
+
+    def decode_session_step(
+        self, session: DecodeSession, token_ids: list[int] | np.ndarray
+    ) -> np.ndarray:
+        """One decode step for every session member, on the persistent pad.
+
+        Numerically identical to :meth:`decode_batch` over the members'
+        caches (same padded/masked attention), but the per-layer K/V the
+        attention reads is a zero-copy *slice of the session pad* — a
+        steady-state step writes only each member's newly appended row,
+        instead of re-gathering every member's full K/V into per-call
+        scratch (the O(batch × T) copy ``decode_batch`` pays every token).
+
+        ``token_ids`` is one token per member in :attr:`DecodeSession.
+        member_ids` order; returns the appended tokens' LM-head logits,
+        shape ``(n_members, vocab_size)``.
+        """
+        token_arr = np.asarray(token_ids, dtype=np.int64)
+        if token_arr.shape != (session.n_members,):
+            raise ValueError("need exactly one token id per session member")
+        if session.n_layers != self.config.n_layers:
+            raise ValueError(
+                f"session has {session.n_layers} layers, model has "
+                f"{self.config.n_layers}"
+            )
+        # Embed first: it validates the token ids, so a bad id fails before
+        # any slot has been extended (no phantom rows on error).
+        hidden = self.embed(token_arr)
+        positions = session.claim_rows(token_arr)
+        lengths = session.lengths
+        for layer_idx in range(self.config.n_layers):
+            _, q, k, v = self._project_qkv(layer_idx, hidden, positions)
+            session.write_layer(layer_idx, k, v)
+            keys_all, values_all = session.layer_kv(layer_idx)
+            context = batched_decode_attention(q, keys_all, values_all, lengths)
+            hidden = self._finish_layer(layer_idx, hidden, context)
+        normalised = rms_norm(hidden, self.weights.norm_final)
+        return normalised @ self.weights.lm_head
+
+    def generate_session(
+        self,
+        session: DecodeSession,
+        start_logits: list[np.ndarray],
+        max_new_tokens: int = 16,
+        eos_id: int | None = None,
+        include_eos: bool = False,
+        on_step: Callable[[float, int], None] | None = None,
+    ) -> list[list[int]]:
+        """Greedy lock-step decoding of every session member, one
+        :meth:`decode_session_step` per iteration.
+
+        Token-for-token identical to :meth:`generate_batch` over the same
+        caches, but members *leave the session* the moment they finish (EOS
+        or token budget) — their slot is freed immediately, so peak resident
+        KV tracks the live batch; the session is fully drained on return.
+        ``start_logits`` is aligned with the session's ``member_ids`` at
+        entry, and so is the returned list of generations.  ``on_step``
+        (if given) receives ``(wall_clock_seconds, batch_width)`` of every
+        executed step — the serving loop feeds these to the width-aware
+        decode calibration.
+        """
+        members = list(session.member_ids)
+        if len(start_logits) != len(members):
+            raise ValueError("need exactly one start_logits row per session member")
+        logits = dict(zip(members, start_logits))
+        generated: dict[object, list[int]] = {m: [] for m in members}
+        active = set(members)
+        for step in range(max_new_tokens):
+            next_ids: dict[object, int] = {}
+            for member in list(active):
+                next_id = int(np.argmax(logits[member]))
+                if eos_id is not None and next_id == eos_id:
+                    if include_eos:
+                        generated[member].append(next_id)
+                    active.remove(member)
+                    session.leave(member)
+                    continue
+                generated[member].append(next_id)
+                if step < max_new_tokens - 1:
+                    next_ids[member] = next_id
+            if not next_ids or step == max_new_tokens - 1:
+                break
+            # All remaining members decode (leavers already left): the step
+            # order is the session's current member order.
+            order = list(session.member_ids)
+            start = time.perf_counter()
+            batch_logits = self.decode_session_step(
+                session, [next_ids[m] for m in order]
+            )
+            if on_step is not None:
+                on_step(time.perf_counter() - start, len(order))
+            for row, member in enumerate(order):
+                logits[member] = batch_logits[row]
+        for member in list(session.member_ids):
+            session.leave(member)
+        return [generated[m] for m in members]
+
     def generate(
         self,
         kv_cache: KVCache | GrowableKVCache,
@@ -408,9 +523,12 @@ class TransformerModel:
         Requests drop out of the batch as they hit EOS; the rest keep
         decoding together.  Legacy :class:`KVCache` inputs are converted once
         with ``max_new_tokens`` rows of reserve, so no request reallocates
-        mid-generation.  The final sampled token of each request is recorded
-        but not appended to its cache (its KV is only needed to decode a
-        further token).
+        mid-generation — and those internal scratch conversions are
+        *released* on return (the generation is complete; the caller never
+        sees them), so their preallocated buffers don't linger until GC.
+        Caller-provided :class:`GrowableKVCache` inputs are left untouched.
+        The final sampled token of each request is recorded but not appended
+        to its cache (its KV is only needed to decode a further token).
         """
         if len(caches) != len(start_logits):
             raise ValueError("need exactly one start_logits row per cache")
@@ -438,4 +556,7 @@ class TransformerModel:
             for row, index in enumerate(decoding):
                 logits[index] = batch_logits[row]
             active = decoding
+        for cache, scratch in zip(caches, grown):
+            if scratch is not cache:
+                scratch.release()
         return generated

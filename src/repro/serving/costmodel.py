@@ -42,9 +42,17 @@ class OnlineCostCalibration:
     * ``compute_s_per_token`` — seconds one layer's selective recompute takes
       per *recomputed* token (layer 0's full recompute is folded in at its
       own token count);
-    * ``decode_s_per_step`` — seconds one measured decode iteration takes
-      (fed by :meth:`observe_decode` from the engine's measured first decode
-      step through the batched decode path).
+    * ``decode_s_per_step`` — seconds one measured decode iteration takes,
+      averaged across all observed batch widths (fed by
+      :meth:`observe_decode` from the serving loop's measured
+      :class:`~repro.model.tensors.DecodeSession` steps);
+    * ``decode_s_per_step_by_width`` — the same per-step delay bucketed by
+      the *batch width* of the observed step (requests decoded per
+      iteration).  One batched step costs far less than width × a
+      single-request step — the point of co-batched decode — so the
+      width-aware :meth:`decode_step_time` is what lets the scheduler pace
+      an iteration of W decoding requests at the cost of *one* batched step
+      instead of W independent ones.
 
     ``alpha`` is the EWMA weight of the newest observation; the first
     observation seeds the averages directly.
@@ -56,6 +64,7 @@ class OnlineCostCalibration:
     n_observations: int = 0
     decode_s_per_step: float | None = None
     n_decode_observations: int = 0
+    decode_s_per_step_by_width: dict[int, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.alpha <= 1.0:
@@ -95,25 +104,63 @@ class OnlineCostCalibration:
         """True once at least one measured decode step has been observed."""
         return self.decode_s_per_step is not None
 
-    def observe_decode(self, step_seconds: float) -> None:
-        """Fold one measured decode-step wall-clock into the running average.
+    def observe_decode(self, step_seconds: float, batch_width: int = 1) -> None:
+        """Fold one measured decode-step wall-clock into the running averages.
 
         One observation is the wall-clock of one decode *iteration* — a
-        whole :meth:`~repro.model.transformer.TransformerModel.decode_batch`
-        call costs roughly one step regardless of batch size (that is the
-        point of batching), so batched steps are observed whole, never
-        divided per request.
+        whole :meth:`~repro.model.tensors.DecodeSession` step costs roughly
+        one step regardless of batch size (that is the point of batching),
+        so batched steps are observed whole, never divided per request.
+        ``batch_width`` is the number of requests that step decoded; the
+        sample updates both the width-agnostic average and its per-width
+        bucket.
         """
         if step_seconds < 0.0:
             raise ValueError("step_seconds must be non-negative")
+        if batch_width < 1:
+            raise ValueError("batch_width must be >= 1")
         self.decode_s_per_step = self._ewma(self.decode_s_per_step, step_seconds)
+        self.decode_s_per_step_by_width[batch_width] = self._ewma(
+            self.decode_s_per_step_by_width.get(batch_width), step_seconds
+        )
         self.n_decode_observations += 1
 
-    def decode_step_time(self) -> float:
-        """Measured decode-iteration delay (one token per request per step)."""
+    def decode_step_time(self, batch_width: int | None = None) -> float:
+        """Measured decode-iteration delay (one token per request per step).
+
+        With ``batch_width`` the estimate is width-aware: an exact bucket is
+        returned as-is and a width between two observed buckets interpolates
+        linearly.  Below the narrowest bucket the estimate clamps to it (a
+        slight overestimate, the safe direction).  Beyond the widest bucket
+        it *extrapolates* the slope of the two widest buckets (floored at
+        flat): per-step cost grows with width — attention reads more rows —
+        so clamping there would price a 30-wide scheduler iteration at the
+        probe's 3-wide step cost and make measured pacing systematically
+        optimistic.  Without ``batch_width`` the width-agnostic EWMA is
+        returned (the pre-bucketing behaviour).
+        """
         if self.decode_s_per_step is None:
             raise RuntimeError("calibration has no decode observations yet")
-        return self.decode_s_per_step
+        if batch_width is None or not self.decode_s_per_step_by_width:
+            return self.decode_s_per_step
+        if batch_width < 1:
+            raise ValueError("batch_width must be >= 1")
+        buckets = self.decode_s_per_step_by_width
+        if batch_width in buckets:
+            return buckets[batch_width]
+        widths = sorted(buckets)
+        if batch_width <= widths[0]:
+            return buckets[widths[0]]
+        if batch_width >= widths[-1]:
+            if len(widths) < 2:
+                return buckets[widths[-1]]
+            lo, hi = widths[-2], widths[-1]
+            slope = (buckets[hi] - buckets[lo]) / (hi - lo)
+            return buckets[hi] + max(0.0, slope) * (batch_width - hi)
+        hi_index = next(i for i, w in enumerate(widths) if w > batch_width)
+        lo, hi = widths[hi_index - 1], widths[hi_index]
+        fraction = (batch_width - lo) / (hi - lo)
+        return (1.0 - fraction) * buckets[lo] + fraction * buckets[hi]
 
     def _ewma(self, current: float | None, sample: float) -> float:
         if current is None:
@@ -141,6 +188,10 @@ class OnlineCostCalibration:
             "n_observations": self.n_observations,
             "decode_s_per_step": self.decode_s_per_step,
             "n_decode_observations": self.n_decode_observations,
+            "decode_s_per_step_by_width": {
+                str(width): value
+                for width, value in sorted(self.decode_s_per_step_by_width.items())
+            },
         }
 
 

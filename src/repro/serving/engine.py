@@ -46,11 +46,12 @@ class EngineResult:
     model carries a ready
     :class:`~repro.serving.costmodel.OnlineCostCalibration`; ``None``
     otherwise.  The decode step is the calibration's *measured* per-step
-    delay whenever pipelined serving has observed one (every
-    ``execution="pipelined"`` request measures its first decode step through
-    the batched decode path), falling back to the analytic per-token delay
-    until then.  It sits beside the analytic ``ttft_service`` so sweeps can
-    report measured vs analytic TTFT side by side.
+    delay whenever pipelined serving has observed one (the serving loop
+    measures every co-batched :class:`~repro.model.tensors.DecodeSession`
+    step, width-tagged; the first step of every pipelined batch seeds it),
+    falling back to the analytic per-token delay until then.  It sits beside
+    the analytic ``ttft_service`` so sweeps can report measured vs analytic
+    TTFT side by side.
     """
 
     scheme: str

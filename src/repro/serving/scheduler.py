@@ -145,13 +145,19 @@ class ContinuousBatchingScheduler:
         a request alone in its batch pays its stalls in full.
     decode_calibration:
         Optional :class:`~repro.serving.costmodel.OnlineCostCalibration`.
-        When it carries measured decode observations (every pipelined request
-        measures its first decode step through the batched decode path), the
-        per-iteration decode slice of every running request is the
-        calibration's *measured* per-step delay instead of the analytic
-        ``decode_time / steps`` share — the iteration pacing tracks observed
-        wall-clock.  Apply the same calibration across all sweep cells so
-        scheme comparisons stay apples-to-apples.
+        When it carries measured decode observations (the serving loop
+        measures every co-batched :class:`~repro.model.tensors.DecodeSession`
+        step, tagged with its batch width), an iteration's decode work is
+        priced as **one batched step at the iteration's width**:
+        ``decode_step_time(W)`` for W concurrently decoding requests,
+        instead of the sum of W per-request slices.  That is exactly what
+        the engine executes — one ``DecodeSession.step()`` per scheduler
+        iteration — so the measured decode amortisation (a step costs far
+        less than W × a single-request step) shows up in sweep-level TTFT
+        and throughput.  Without a decode-ready calibration each request
+        contributes its analytic ``decode_time / steps`` slice, serially.
+        Apply the same calibration across all sweep cells so scheme
+        comparisons stay apples-to-apples.
     """
 
     n_servers: int = 1
@@ -248,13 +254,9 @@ class ContinuousBatchingScheduler:
         n_tokens = request.n_total_tokens
         n_prefill_iters = max(1, -(-n_tokens // self.prefill_chunk_tokens))
         decode_steps = max(0, request.n_output_tokens - 1)
+        # The analytic per-request slice; a decode-ready calibration instead
+        # prices the whole iteration width-aware in _run_iteration.
         decode_step = result.decode_time / decode_steps if decode_steps else 0.0
-        if (
-            decode_steps
-            and self.decode_calibration is not None
-            and self.decode_calibration.decode_ready
-        ):
-            decode_step = self.decode_calibration.decode_step_time()
         gpu_fraction = 1.0
         if result.ttft_service > 0.0:
             gpu_fraction = 1.0 - min(result.stall_time, result.ttft_service) / result.ttft_service
@@ -289,10 +291,18 @@ class ContinuousBatchingScheduler:
         iteration lasts ``max(gpu_work, load_work)`` — shorter than their
         sum whenever both streams have work, but never below the pure-GPU
         (or pure-device) lower bound.
+
+        The W decoding requests of an iteration are co-batched: with a
+        decode-ready calibration their joint slice is one measured batched
+        step at width W (``decode_step_time(W)``), mirroring the engine's
+        one ``DecodeSession.step()`` per iteration; without one, each
+        contributes its analytic per-request slice serially.
         """
         gpu_work = 0.0
         load_work = 0.0
         n_working = 0
+        decode_work = 0.0
+        n_decoding = 0
         for running in batch:
             if running.remaining_prefill > 0.0:
                 slice_ = min(running.remaining_prefill, running.prefill_slice)
@@ -300,8 +310,13 @@ class ContinuousBatchingScheduler:
                 load_work += slice_ * (1.0 - running.gpu_fraction)
                 n_working += 1
             elif running.decode_steps_left > 0:
-                gpu_work += running.decode_step
+                decode_work += running.decode_step
+                n_decoding += 1
                 n_working += 1
+        if n_decoding:
+            if self.decode_calibration is not None and self.decode_calibration.decode_ready:
+                decode_work = self.decode_calibration.decode_step_time(n_decoding)
+            gpu_work += decode_work
         if self.overlap_loads and n_working > 1:
             duration = max(gpu_work, load_work)
         else:

@@ -184,3 +184,15 @@ class TestConfigValidation:
         assert config.n_requests <= 100
         assert len(config.models) == 2
         assert len(config.devices) == 2
+
+
+class TestDecodeThroughputColumn:
+    def test_every_cell_reports_decode_tokens_per_s(self, report):
+        for cell in report.cells:
+            assert cell.mean_decode_tokens_per_s > 0.0
+
+    def test_column_required_by_the_schema(self, report):
+        document = report_to_dict(report, tag="broken")
+        del document["cells"][0]["mean_decode_tokens_per_s"]
+        with pytest.raises(ValueError):
+            validate_report(document)

@@ -127,3 +127,67 @@ class TestBaselineGate:
         del baseline["ops"]["fuse_pipelined"]
         failures = check_against_baseline(document, baseline)
         assert all("fuse_pipelined" not in f for f in failures)
+
+
+class TestDecodeSessionProfile:
+    """Acceptance: the persistent-pad session decode is profiled and gated —
+    it amortises vs per-request sequential decode at batch >= 4 and its
+    steady-state per-step cost at batch 1 does not exceed per-call
+    decode_batch (which re-gathers the full K/V every step)."""
+
+    def test_session_op_is_timed_and_validated(self, document):
+        assert document["ops"]["decode_session"]["min_s"] > 0.0
+        assert document["schema_version"] == 3
+
+    def test_session_amortises_vs_sequential_at_batch_4(self, document):
+        decode = document["decode"]
+        assert decode["batch_size"] >= 4
+        assert (
+            document["ops"]["decode_session"]["min_s"]
+            < document["ops"]["decode_sequential"]["min_s"]
+        )
+        assert decode["session_speedup_vs_sequential"] > 1.0
+
+    def test_session_not_worse_than_per_call_batched_at_batch_1(self, document):
+        width = document["decode"]["width_scaling"]
+        b1 = width["widths"].index(1)
+        # At batch 1 decode_batch takes its zero-copy single-request path —
+        # there is no re-gather for the session to eliminate — so the claim
+        # is parity: 1.25 absorbs CI timer noise on the ms-scale per-step
+        # quantities (the committed profile, on the `small` preset, has the
+        # session strictly faster).
+        assert width["session_s_per_step"][b1] <= width["batched_s_per_step"][b1] * 1.25
+
+    def test_width_scaling_shows_amortisation(self, document):
+        width = document["decode"]["width_scaling"]
+        assert width["widths"] == sorted(width["widths"])
+        assert max(width["widths"]) >= 4
+        by_width = dict(zip(width["widths"], width["amortisation_vs_sequential"]))
+        # One width-W step costs well under W width-1 steps.
+        assert by_width[max(width["widths"])] > 1.5
+
+    def test_session_op_is_gated(self, document):
+        baseline = copy.deepcopy(document)
+        baseline["ops"]["decode_session"]["min_s"] = (
+            document["ops"]["decode_session"]["min_s"] / 10.0
+        )
+        failures = check_against_baseline(document, baseline, max_regression=2.0)
+        assert len(failures) == 1
+        assert "decode_session" in failures[0]
+
+    def test_validation_rejects_missing_width_scaling(self, document):
+        broken = copy.deepcopy(document)
+        del broken["decode"]["width_scaling"]
+        with pytest.raises(ValueError):
+            validate_profile_report(broken)
+        broken = copy.deepcopy(document)
+        del broken["ops"]["decode_session"]
+        with pytest.raises(ValueError):
+            validate_profile_report(broken)
+
+    def test_summary_renders_the_session_lines(self, document):
+        from repro.bench.profile import format_profile_summary
+
+        text = format_profile_summary(document)
+        assert "decode session" in text
+        assert "session step by batch width" in text

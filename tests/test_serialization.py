@@ -1,4 +1,4 @@
-"""KV serialization: raw v2 format, per-layer payloads, legacy v1 reads."""
+"""KV serialization: raw v2/v3 formats, per-layer payloads, legacy v1 reads."""
 
 import io
 import json
@@ -8,11 +8,15 @@ import pytest
 
 from repro.kvstore.serialization import (
     deserialize_kv,
+    int8_scale,
     load_kv,
     pack_layer_kv,
+    pack_layer_kv_int8,
+    quantize_kv_to_store_dtype,
     save_kv,
     serialize_kv,
     unpack_layer_kv,
+    unpack_layer_kv_int8,
 )
 from repro.model.tensors import KVCache, LayerKV
 
@@ -141,3 +145,71 @@ class TestLegacyFormat:
         assert np.array_equal(restored.token_ids, cache.token_ids)
         for layer, ref in zip(restored.layers, cache.layers):
             assert np.allclose(layer.keys, ref.keys, rtol=1e-2, atol=1e-2)
+
+
+class TestInt8Format:
+    def test_round_trip_within_quantisation_error(self):
+        cache = _make_cache()
+        restored = deserialize_kv(serialize_kv(cache, kv_dtype="int8"))
+        assert restored.n_layers == cache.n_layers
+        assert np.array_equal(restored.token_ids, cache.token_ids)
+        assert np.array_equal(restored.positions, cache.positions)
+        for layer, ref in zip(restored.layers, cache.layers):
+            # Symmetric per-tensor quantisation: error bounded by scale/2.
+            k_scale = float(int8_scale(ref.keys))
+            v_scale = float(int8_scale(ref.values))
+            assert np.abs(layer.keys - ref.keys).max() <= k_scale * 0.5 + 1e-7
+            assert np.abs(layer.values - ref.values).max() <= v_scale * 0.5 + 1e-7
+            assert layer.keys.dtype == np.float32
+
+    def test_wire_matches_in_memory_quantisation(self):
+        """serialize→deserialize produces bitwise what the in-memory
+        quantize_kv_to_store_dtype round-trip produces — the invariant that
+        keeps the fusion path and the byte-level load path identical."""
+        cache = _make_cache(seed=7)
+        via_wire = deserialize_kv(serialize_kv(cache, kv_dtype="int8"))
+        in_memory = quantize_kv_to_store_dtype(cache, kv_dtype="int8")
+        for a, b in zip(via_wire.layers, in_memory.layers):
+            np.testing.assert_array_equal(a.keys, b.keys)
+            np.testing.assert_array_equal(a.values, b.values)
+
+    def test_payload_is_one_byte_per_element(self):
+        cache = _make_cache(n_tokens=32)
+        int8 = serialize_kv(cache, kv_dtype="int8")
+        assert int8.startswith(b"RPKV3\n")
+        header_len = int.from_bytes(int8[6:10], "little")
+        kv_elements = sum(2 * layer.keys.size for layer in cache.layers)
+        index_bytes = 2 * 8 * cache.n_tokens  # int64 token ids + positions
+        scale_bytes = 8 * cache.n_layers  # one float32 (k, v) pair per layer
+        assert len(int8) == 10 + header_len + index_bytes + scale_bytes + kv_elements
+
+    def test_layer_pack_unpack_round_trip(self):
+        layer = _make_cache(n_layers=1, seed=3).layers[0]
+        blob = pack_layer_kv_int8(layer)
+        restored = unpack_layer_kv_int8(blob, layer.n_tokens, 2, 4)
+        k_scale = float(int8_scale(layer.keys))
+        assert np.abs(restored.keys - layer.keys).max() <= k_scale * 0.5 + 1e-7
+
+    def test_all_zero_tensor_survives(self):
+        layers = [LayerKV(np.zeros((4, 2, 4)), np.zeros((4, 2, 4)))]
+        cache = KVCache(layers, np.arange(4), np.arange(4))
+        restored = deserialize_kv(serialize_kv(cache, kv_dtype="int8"))
+        assert np.all(restored.layers[0].keys == 0.0)
+
+    def test_fp16_default_still_writes_v2(self):
+        assert serialize_kv(_make_cache()).startswith(b"RPKV2\n")
+
+    def test_unknown_store_dtype_rejected(self):
+        with pytest.raises(ValueError, match="kv_dtype"):
+            serialize_kv(_make_cache(), kv_dtype="int4")
+        with pytest.raises(ValueError, match="kv_dtype"):
+            quantize_kv_to_store_dtype(_make_cache(), kv_dtype="bfloat16")
+
+    def test_file_round_trip(self, tmp_path):
+        cache = _make_cache()
+        path = tmp_path / "cache_int8.rpkv"
+        nbytes = save_kv(cache, str(path), kv_dtype="int8")
+        assert path.stat().st_size == nbytes
+        assert path.read_bytes().startswith(b"RPKV3\n")
+        restored = load_kv(str(path))
+        assert restored.n_tokens == cache.n_tokens

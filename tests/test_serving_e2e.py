@@ -110,6 +110,15 @@ class TestMeasuredTraces:
                 result.trace.total_time + result.measured_first_decode_s
             )
 
+    def test_generation_is_cobatched_across_the_batch(self, served_batch):
+        """Acceptance: the serving loop decodes the whole pipelined batch in
+        lock-step on one DecodeSession — the first decode step is one shared
+        batched step, not N per-request steps."""
+        widths = {result.decode_batch_width for result in served_batch}
+        assert widths == {len(served_batch)}
+        first_steps = {result.measured_first_decode_s for result in served_batch}
+        assert len(first_steps) == 1  # one measured step, shared by the batch
+
     def test_analytic_estimate_reported_beside_measured(self, served_batch):
         for result in served_batch:
             assert math.isfinite(result.ttft_estimate)
@@ -195,11 +204,16 @@ class TestMeasuredFeedsScheduling:
         assert calibration.compute_s_per_token > 0.0
 
     def test_decode_calibration_ready_after_pipelined_serving(self, calibration):
-        """Every pipelined request measures its first decode step, so decode
-        observations accumulate alongside the load/compute rates."""
+        """The batch's first decode step is one co-batched session step, so
+        it lands as a *single* observation tagged with the batch width —
+        never one observation per request (that would double-count the
+        amortised step)."""
         assert calibration.decode_ready
-        assert calibration.n_decode_observations >= 2
+        assert calibration.n_decode_observations == 1
         assert calibration.decode_step_time() > 0.0
+        # Both requests decoded in one width-2 session step.
+        assert set(calibration.decode_s_per_step_by_width) == {2}
+        assert calibration.decode_step_time(2) == calibration.decode_step_time()
 
     def test_measured_ttft_service_includes_the_decode_step(self, calibration):
         cost_model = ServingCostModel(
