@@ -87,6 +87,16 @@ def build_parser() -> argparse.ArgumentParser:
         "default)",
     )
     parser.add_argument("--zipf-alpha", type=float, default=1.0)
+    parser.add_argument(
+        "--store-capacities", nargs="+", type=int, default=None, metavar="CHUNKS",
+        help="RAM-tier store capacities (in chunks) to sweep: each point "
+        "replays the workload through a RAM→slow tiered chunk store and "
+        "reports store_hit_rate/store_bytes_stored per cell",
+    )
+    parser.add_argument(
+        "--store-slow-factor", type=float, default=4.0, metavar="X",
+        help="slow-tier capacity as a multiple of the RAM tier (default 4)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--with-proxy", action="store_true",
@@ -116,6 +126,8 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overlap_loads=not args.no_overlap_loads,
         measured_decode_pacing=args.measured_decode_pacing,
         zipf_alpha=args.zipf_alpha,
+        store_capacity_chunks=tuple(args.store_capacities or ()),
+        store_slow_capacity_factor=args.store_slow_factor,
         seed=args.seed,
     )
 

@@ -79,9 +79,22 @@ class ExperimentConfig:
     n_unique_chunks: int = 400
     zipf_alpha: float = 1.0
     cache_chunk_capacity: int = 160
+    #: Optional store-capacity axis: RAM-tier capacities (in chunks) of a
+    #: RAM→slow tiered chunk store.  For each capacity the workload's access
+    #: trace is replayed through the tiered store and every cell is served
+    #: with the resulting per-request cached/slow-tier fractions — exposing
+    #: the hit-rate/TTFT hockey-stick as the store thrashes under Zipf.
+    #: Empty (default) keeps the single ``cache_chunk_capacity`` behaviour.
+    store_capacity_chunks: tuple[int, ...] = ()
+    #: Slow-tier capacity as a multiple of the RAM-tier capacity.
+    store_slow_capacity_factor: float = 4.0
     seed: int = 0
 
     def __post_init__(self) -> None:
+        if any(capacity < 1 for capacity in self.store_capacity_chunks):
+            raise ValueError("store_capacity_chunks entries must be >= 1")
+        if self.store_slow_capacity_factor < 1.0:
+            raise ValueError("store_slow_capacity_factor must be >= 1")
         if not self.models or not self.devices or not self.schemes:
             raise ValueError("models, devices and schemes must be non-empty")
         for scheme in self.schemes:
@@ -136,6 +149,15 @@ class CellResult:
     #: measured width-aware pacing this is where co-batched decode
     #: amortisation shows up at the sweep level.
     mean_decode_tokens_per_s: float = 0.0
+    #: Store-capacity axis columns (``None`` when the axis is off): the
+    #: RAM-tier capacity in chunks this cell was served under, the tiered
+    #: store's chunk hit rate over the workload replay, the KV bytes
+    #: resident across tiers at this model's KV width, and the share of
+    #: hits served from the slow tier.
+    store_capacity_chunks: int | None = None
+    store_hit_rate: float | None = None
+    store_bytes_stored: int | None = None
+    store_slow_tier_hit_share: float | None = None
 
     def as_dict(self) -> dict[str, object]:
         return asdict(self)
@@ -177,7 +199,9 @@ class ExperimentRunner:
             ),
         )
 
-    def _generate_workload(self) -> tuple[list[GenerationRequest], dict[str, object]]:
+    def _generate_workload(
+        self,
+    ) -> tuple[list[GenerationRequest], dict[str, object], WorkloadGenerator]:
         generator = WorkloadGenerator(
             dataset=self.config.dataset,
             request_rate=self.config.request_rate,
@@ -187,7 +211,7 @@ class ExperimentRunner:
             seed=self.config.seed,
         )
         requests = generator.generate(self.config.n_requests)
-        return requests, generator.stats.as_dict()
+        return requests, generator.stats.as_dict(), generator
 
     # ------------------------------------------------------------------
     def run_cell(
@@ -214,6 +238,10 @@ class ExperimentRunner:
             scheme=scheme,
             device=get_device(device) if needs_device else None,
             recompute_ratio=recompute_ratio,
+            # Tiered pricing: requests carrying a slow_tier_fraction split
+            # their cached loads between the RAM tier and `device`; legacy
+            # requests (fraction None) ignore it entirely.
+            fast_device=get_device("cpu_ram") if needs_device else None,
         )
         results = engine.serve_batch(requests)
         timings = self._build_scheduler(calibration).schedule(requests, results)
@@ -285,22 +313,61 @@ class ExperimentRunner:
             calibration = OnlineCostCalibration()
             proxy = run_proxy_probe(seed=self.config.seed, calibration=calibration)
 
-        requests, workload_stats = self._generate_workload()
+        requests, workload_stats, generator = self._generate_workload()
+
+        # The store-capacity axis replays the same access trace through a
+        # RAM→slow tiered store per capacity; each point serves requests
+        # re-labelled with that capacity's cached/prefix/slow fractions.
+        store_points: list[tuple[int | None, list[GenerationRequest], object]] = []
+        if self.config.store_capacity_chunks:
+            for capacity in self.config.store_capacity_chunks:
+                slow_capacity = max(
+                    1, int(round(capacity * self.config.store_slow_capacity_factor))
+                )
+                simulation = generator.simulate_tiered_store(capacity, slow_capacity)
+                relabelled = [
+                    replace(
+                        request,
+                        cached_chunk_fraction=cached,
+                        prefix_cached_fraction=prefix,
+                        slow_tier_fraction=slow,
+                    )
+                    for request, (cached, prefix, slow) in zip(
+                        requests, simulation.per_request
+                    )
+                ]
+                store_points.append((capacity, relabelled, simulation))
+        else:
+            store_points.append((None, requests, None))
+
         cells: list[CellResult] = []
-        for model in self.config.models:
-            for device in self.config.devices:
-                for scheme in self.config.schemes:
-                    ratio_dependent = scheme == "cacheblend"
-                    base_cell: CellResult | None = None
-                    for ratio in self.config.recompute_ratios:
-                        if ratio_dependent or base_cell is None:
-                            base_cell = self.run_cell(
-                                requests, model, device, scheme, ratio,
-                                calibration=calibration,
-                            )
-                            cells.append(base_cell)
-                        else:
-                            cells.append(replace(base_cell, recompute_ratio=ratio))
+        for capacity, point_requests, simulation in store_points:
+            for model in self.config.models:
+                store_columns: dict[str, object] = {}
+                if simulation is not None:
+                    store_columns = {
+                        "store_capacity_chunks": capacity,
+                        "store_hit_rate": simulation.hit_rate,
+                        "store_bytes_stored": sum(simulation.resident_tokens)
+                        * get_config(model).kv_bytes_per_token(),
+                        "store_slow_tier_hit_share": simulation.slow_tier_hit_share,
+                    }
+                for device in self.config.devices:
+                    for scheme in self.config.schemes:
+                        ratio_dependent = scheme == "cacheblend"
+                        base_cell: CellResult | None = None
+                        for ratio in self.config.recompute_ratios:
+                            if ratio_dependent or base_cell is None:
+                                base_cell = replace(
+                                    self.run_cell(
+                                        point_requests, model, device, scheme, ratio,
+                                        calibration=calibration,
+                                    ),
+                                    **store_columns,
+                                )
+                                cells.append(base_cell)
+                            else:
+                                cells.append(replace(base_cell, recompute_ratio=ratio))
         return ExperimentReport(
             config=self.config,
             workload=workload_stats,
@@ -317,13 +384,16 @@ def build_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
     faster but degrades generation quality, so its TTFT is inflated by the
     quality deficit before the comparison (see module docstring).
     """
-    by_key: dict[tuple[str, str, float], dict[str, CellResult]] = {}
+    by_key: dict[tuple[str, str, float, int], dict[str, CellResult]] = {}
     for cell in cells:
-        by_key.setdefault((cell.model, cell.device, cell.recompute_ratio), {})[
-            cell.scheme
-        ] = cell
+        capacity_key = (
+            cell.store_capacity_chunks if cell.store_capacity_chunks is not None else -1
+        )
+        by_key.setdefault(
+            (cell.model, cell.device, cell.recompute_ratio, capacity_key), {}
+        )[cell.scheme] = cell
     comparisons: list[dict[str, object]] = []
-    for (model, device, ratio), schemes in sorted(by_key.items()):
+    for (model, device, ratio, capacity_key), schemes in sorted(by_key.items()):
         blend = schemes.get("cacheblend")
         if blend is None:
             continue
@@ -333,6 +403,9 @@ def build_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
             "recompute_ratio": ratio,
             "cacheblend_mean_ttft": blend.mean_ttft,
         }
+        if capacity_key >= 0:
+            row["store_capacity_chunks"] = capacity_key
+            row["store_hit_rate"] = blend.store_hit_rate
         recompute = schemes.get("full_recompute")
         if recompute is not None:
             row["full_recompute_mean_ttft"] = recompute.mean_ttft
@@ -374,9 +447,17 @@ def run_proxy_probe(
     from repro.bench.profile import measure_pipeline_speedup
     from repro.core.blend_engine import BlendEngine
     from repro.core.executor import PipelinedExecutor
+    from repro.kvstore.config import StoreConfig
 
+    # The probe exercises the serving-path store stack end to end: a
+    # RAM→SSD hierarchy of radix-trie (prefix-dedup) tiers behind the
+    # engine, not the plain whole-chunk default.
     engine = BlendEngine.build(
-        paper_model="Mistral-7B", device="cpu_ram", seed=seed, calibration=calibration
+        paper_model="Mistral-7B",
+        device="cpu_ram",
+        seed=seed,
+        calibration=calibration,
+        store=StoreConfig(backend="tiered_trie"),
     )
     chunks = [
         "retrieval augmented generation feeds reused text chunks to the model",
@@ -437,6 +518,15 @@ def run_proxy_probe(
         "decode_batch_widths": [r.decode_batch_width for r in results],
         "n_generated": [len(r.generated_ids) for r in results],
         "cache": engine.cache_stats,
+        "store": {
+            "backend": "tiered_trie",
+            "bytes_stored": engine.kv_store.bytes_stored,
+            "logical_bytes": sum(
+                tier.logical_bytes for tier in engine.kv_store.tiers
+            ),
+            "n_entries": engine.kv_store.n_entries,
+            "tiers": engine.kv_store.stats_by_tier(),
+        },
         "executor": measurement.as_dict(),
         "batch": {
             "n_requests": len(items),

@@ -43,10 +43,12 @@ from repro.model.tensors import GrowableKVCache
 from repro.model.transformer import TransformerModel
 
 #: v2 added the decode ops (``decode_batched``/``decode_sequential``) and the
-#: top-level ``decode`` block (batched speedup + per-token scaling); v3 adds
+#: top-level ``decode`` block (batched speedup + per-token scaling); v3 added
 #: ``decode_session`` (persistent padded batch buffers, no per-step re-gather)
-#: and the ``decode.width_scaling`` batch-width block.
-PROFILE_SCHEMA_VERSION = 3
+#: and the ``decode.width_scaling`` batch-width block; v4 adds ``store_lookup``
+#: (tiered radix-trie lookup: prefix walk + segment reassembly + tier read)
+#: and the top-level ``store`` dedup block.
+PROFILE_SCHEMA_VERSION = 4
 
 _REQUIRED_OPS = (
     "chunk_prefill",
@@ -56,6 +58,7 @@ _REQUIRED_OPS = (
     "decode_sequential",
     "decode_batched",
     "decode_session",
+    "store_lookup",
     "serialize_kv",
     "deserialize_kv",
 )
@@ -428,6 +431,81 @@ def measure_decode_width_scaling(
     }
 
 
+def measure_store_ops(
+    model: TransformerModel, config: "ProfileConfig", rng: np.random.Generator
+) -> tuple[dict[str, dict[str, float | int]], dict[str, object]]:
+    """Time tiered radix-trie lookups on a shared-prefix chunk family.
+
+    One ``store_lookup`` sample fetches every chunk once through a
+    RAM→SSD :class:`~repro.kvstore.hierarchy.TieredKVStore` of
+    :class:`~repro.kvstore.trie.RadixTrieStore` tiers — the store work on
+    :class:`~repro.core.blend_engine.BlendEngine`'s gather path: the O(L)
+    token-prefix walk, reassembling the full-chunk KV from deduplicated
+    segments, and pricing the owning tier's read delay.  The chunks share
+    the first half of their token ids so the trie actually deduplicates,
+    and the RAM tier is sized to half the family's logical bytes so the
+    overflow demotes to the SSD tier and lookups exercise both.  Promotion
+    is disabled so tier residency stays fixed across timed repeats.
+
+    The family is at least three chunks regardless of ``config.n_chunks``:
+    with one chunk demoted, two must stay co-resident in RAM for the shared
+    prefix to be stored once (the dedup the block reports).
+    """
+    from repro.kvstore.device import get_device
+    from repro.kvstore.hierarchy import TieredKVStore
+    from repro.kvstore.serialization import kv_nbytes
+    from repro.kvstore.store import chunk_key
+    from repro.kvstore.trie import RadixTrieStore
+
+    n_family = max(3, config.n_chunks)
+    half = max(1, config.chunk_tokens // 2)
+    shared = _random_token_ids(model, half, rng)
+    chunk_ids = [
+        np.concatenate(
+            [shared, _random_token_ids(model, config.chunk_tokens - half, rng)]
+        )
+        for _ in range(n_family)
+    ]
+    caches = [model.chunk_prefill(ids) for ids in chunk_ids]
+    logical_each = [kv_nbytes(cache) for cache in caches]
+    ram_capacity = max(max(logical_each), sum(logical_each) // 2)
+    store = TieredKVStore(
+        tiers=[
+            RadixTrieStore(device=get_device("cpu_ram"), capacity_bytes=ram_capacity),
+            RadixTrieStore(device=get_device("nvme_ssd")),
+        ],
+        promote_on_hit=False,
+    )
+    keys = [chunk_key(ids, model_name=config.model) for ids in chunk_ids]
+    for key, cache in zip(keys, caches):
+        store.put(key, cache)
+
+    def run_lookup() -> None:
+        for key in keys:
+            if store.lookup(key).cache is None:
+                raise RuntimeError("profile store lost a resident chunk")
+
+    ops = {"store_lookup": _time_op(run_lookup, config.repeats, config.warmup)}
+    store.reset_stats()
+    lookups = [store.lookup(key) for key in keys]
+    stored = store.bytes_stored
+    logical = sum(tier.logical_bytes for tier in store.tiers)
+    block: dict[str, object] = {
+        "n_chunks": n_family,
+        "chunk_tokens": config.chunk_tokens,
+        "shared_prefix_tokens": half,
+        "bytes_stored": stored,
+        "logical_bytes": logical,
+        "dedup_ratio": logical / stored if stored > 0 else float("inf"),
+        "slow_tier_hits": sum(
+            1 for found in lookups if found.tier_index is not None and found.tier_index > 0
+        ),
+        "read_delay_s": sum(found.read_delay for found in lookups),
+        "tiers": store.stats_by_tier(),
+    }
+    return ops, block
+
+
 def measure_decode_scaling(
     model: TransformerModel,
     prompt_tokens: int = 16,
@@ -511,6 +589,10 @@ def run_profile(config: ProfileConfig | None = None) -> dict[str, object]:
     # ---- measured serving TTFT (workload -> engine -> executor) ----------
     ops["serve_pipelined"] = _stats(_measure_served_ttfts(model, config))
 
+    # ---- tiered trie store lookups ---------------------------------------
+    store_ops, store_block = measure_store_ops(model, config, rng)
+    ops.update(store_ops)
+
     # ---- session vs batched vs sequential decode + scaling ---------------
     decode_ops, decode_block = measure_decode_ops(model, config, rng)
     ops.update(decode_ops)
@@ -529,6 +611,7 @@ def run_profile(config: ProfileConfig | None = None) -> dict[str, object]:
         "config": asdict(config),
         "ops": ops,
         "decode": decode_block,
+        "store": store_block,
         "pipeline": {
             "n_layers": model.config.n_layers,
             "n_tokens": int(fused.n_tokens),
@@ -551,7 +634,16 @@ def run_profile(config: ProfileConfig | None = None) -> dict[str, object]:
 # ----------------------------------------------------------------------
 def validate_profile_report(document: dict[str, object]) -> None:
     """Raise ``ValueError`` when *document* does not match the profile schema."""
-    for key in ("schema_version", "kind", "created", "config", "ops", "decode", "pipeline"):
+    for key in (
+        "schema_version",
+        "kind",
+        "created",
+        "config",
+        "ops",
+        "decode",
+        "store",
+        "pipeline",
+    ):
         if key not in document:
             raise ValueError(f"profile report is missing top-level key {key!r}")
     if document["kind"] != "profile":
@@ -604,6 +696,14 @@ def validate_profile_report(document: dict[str, object]) -> None:
             raise ValueError(f"width_scaling {key!r} length differs from widths")
     if any(s <= 0 for s in width_scaling["session_s_per_step"]):
         raise ValueError("width_scaling per-step timings must be positive")
+    store = document["store"]
+    for key in ("bytes_stored", "logical_bytes", "dedup_ratio", "tiers"):
+        if key not in store:
+            raise ValueError(f"store block is missing key {key!r}")
+    if store["bytes_stored"] <= 0:
+        raise ValueError("store bytes_stored must be positive")
+    if store["dedup_ratio"] < 1.0:
+        raise ValueError("store dedup_ratio must be >= 1 (trie never inflates)")
 
 
 def profile_filename(tag: str = "") -> str:
@@ -633,6 +733,7 @@ def check_against_baseline(
         "serve_pipelined",
         "decode_batched",
         "decode_session",
+        "store_lookup",
     ),
 ) -> list[str]:
     """Compare *document* against a checked-in *baseline*; returns failures.
@@ -642,9 +743,10 @@ def check_against_baseline(
     CI runners doesn't trip the gate; ``max_regression`` absorbs hardware
     differences between the baseline machine and the runner.  Gated ops are
     the fuse wall-clocks, the measured end-to-end serving TTFT
-    (``serve_pipelined``), the batched decode wall-clock (``decode_batched``)
-    *and* the session decode wall-clock (``decode_session``, the serving
-    loop's steady-state path); ops absent from an older baseline are skipped.
+    (``serve_pipelined``), the batched decode wall-clock (``decode_batched``),
+    the session decode wall-clock (``decode_session``, the serving loop's
+    steady-state path) *and* the tiered trie lookup (``store_lookup``, the
+    gather path's store work); ops absent from an older baseline are skipped.
     """
     failures: list[str] = []
     base_ops = baseline.get("ops", {})
@@ -698,6 +800,15 @@ def format_profile_summary(document: dict[str, object]) -> str:
         f"{decode['session_total_s'] * 1e3:.1f} ms "
         f"({decode['session_speedup_vs_sequential']:.2f}x vs sequential, "
         f"{decode['session_vs_batched']:.2f}x vs per-call batched)"
+    )
+    store = document["store"]
+    lines.append(
+        f"tiered trie store ({store['n_chunks']} chunks, "
+        f"{store['shared_prefix_tokens']}-token shared prefix): "
+        f"{store['bytes_stored'] / 1e6:.2f} MB stored vs "
+        f"{store['logical_bytes'] / 1e6:.2f} MB logical "
+        f"({store['dedup_ratio']:.2f}x dedup, "
+        f"{store['slow_tier_hits']} slow-tier hits)"
     )
     width = decode["width_scaling"]
     lines.append(

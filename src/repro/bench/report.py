@@ -28,8 +28,11 @@ from pathlib import Path
 
 from repro.bench.experiment import ExperimentReport
 
-#: v2 adds the per-cell ``mean_decode_tokens_per_s`` decode-throughput column.
-SCHEMA_VERSION = 2
+#: v2 added the per-cell ``mean_decode_tokens_per_s`` decode-throughput
+#: column; v3 adds the store-capacity axis columns (``store_capacity_chunks``,
+#: ``store_hit_rate``, ``store_bytes_stored``, ``store_slow_tier_hit_share``
+#: — null when the sweep runs without the axis).
+SCHEMA_VERSION = 3
 
 _REQUIRED_TOP_LEVEL = ("schema_version", "created", "tag", "config", "workload", "cells")
 _REQUIRED_CELL_FIELDS = (
@@ -46,6 +49,10 @@ _REQUIRED_CELL_FIELDS = (
     "quality",
     "quality_adjusted_ttft",
     "mean_decode_tokens_per_s",
+    "store_capacity_chunks",
+    "store_hit_rate",
+    "store_bytes_stored",
+    "store_slow_tier_hit_share",
 )
 
 
@@ -86,6 +93,9 @@ def validate_report(document: dict[str, object]) -> None:
             raise ValueError(f"cell {i} has a negative mean TTFT")
         if cell["mean_decode_tokens_per_s"] < 0.0:
             raise ValueError(f"cell {i} has a negative decode throughput")
+        hit_rate = cell["store_hit_rate"]
+        if hit_rate is not None and not 0.0 <= hit_rate <= 1.0:
+            raise ValueError(f"cell {i} has an out-of-range store hit rate")
     comparisons = document.get("comparisons", [])
     if not isinstance(comparisons, list):
         raise ValueError("'comparisons' must be a list")

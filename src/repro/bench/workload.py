@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.kvstore.hierarchy import TieredChunkTracker
 from repro.kvstore.store import CacheStats, ChunkUsageTracker
 from repro.serving.request import GenerationRequest
 
@@ -157,6 +158,10 @@ class WorkloadGenerator:
         if self.zipf_alpha < 0:
             raise ValueError("zipf_alpha must be >= 0")
         self.stats = WorkloadStats()
+        #: Per-request ``(chunk_ids, chunk_tokens)`` of the last
+        #: :meth:`generate` call — the raw access trace
+        #: :meth:`simulate_tiered_store` replays under other capacities.
+        self.last_chunk_accesses: list[tuple[list[int], int]] = []
 
     # ------------------------------------------------------------------
     def _popularity(self) -> np.ndarray:
@@ -189,6 +194,7 @@ class WorkloadGenerator:
         requests: list[GenerationRequest] = []
         cached_fractions: list[float] = []
         prefix_fractions: list[float] = []
+        self.last_chunk_accesses = []
         for i in range(n_requests):
             n_chunks = int(rng.integers(spec.min_chunks, spec.max_chunks + 1))
             chunk_tokens = self._clipped_int(
@@ -202,6 +208,9 @@ class WorkloadGenerator:
             )
             chunk_ids = rng.choice(
                 self.n_unique_chunks, size=n_chunks, replace=False, p=popularity
+            )
+            self.last_chunk_accesses.append(
+                ([int(chunk) for chunk in chunk_ids], chunk_tokens)
             )
             hits = [tracker.access(int(chunk)) for chunk in chunk_ids]
             cached_fraction = sum(hits) / n_chunks
@@ -238,3 +247,86 @@ class WorkloadGenerator:
             cache=tracker.stats.as_dict(),
         )
         return requests
+
+    # ------------------------------------------------------------------
+    def simulate_tiered_store(
+        self, ram_capacity_chunks: int, slow_capacity_chunks: int
+    ) -> "TieredStoreSimulation":
+        """Replay the recorded access trace through a RAM→slow tiered store.
+
+        Uses the ``(chunk_ids, chunk_tokens)`` trace of the last
+        :meth:`generate` call, so every store capacity sees the *same*
+        request stream.  Hits promote to the RAM tier; RAM eviction victims
+        demote to the slow tier; slow-tier victims fall out of the store.
+        Returns per-request cached/prefix/slow-tier fractions plus the
+        aggregate hit/residency statistics a sweep cell reports.
+        """
+        if not self.last_chunk_accesses:
+            raise RuntimeError("generate() must run before simulate_tiered_store()")
+        tracker = TieredChunkTracker(
+            tier_capacities=(ram_capacity_chunks, slow_capacity_chunks)
+        )
+        chunk_tokens_by_id: dict[int, int] = {}
+        per_request: list[tuple[float, float, float]] = []
+        for chunk_ids, chunk_tokens in self.last_chunk_accesses:
+            tiers = [tracker.access(chunk) for chunk in chunk_ids]
+            for chunk in chunk_ids:
+                chunk_tokens_by_id[chunk] = chunk_tokens
+            n_chunks = len(chunk_ids)
+            hits = [tier is not None for tier in tiers]
+            n_hits = sum(hits)
+            prefix_hits = 0
+            for hit in hits:
+                if not hit:
+                    break
+                prefix_hits += 1
+            slow_hits = sum(1 for tier in tiers if tier is not None and tier > 0)
+            per_request.append(
+                (
+                    n_hits / n_chunks,
+                    prefix_hits / n_chunks,
+                    slow_hits / n_hits if n_hits else 0.0,
+                )
+            )
+        resident = tracker.resident_keys_by_tier()
+        resident_tokens = [
+            sum(chunk_tokens_by_id.get(key, 0) for key in keys) for keys in resident
+        ]
+        return TieredStoreSimulation(
+            per_request=per_request,
+            hit_rate=tracker.stats.hit_rate,
+            tier_hits=list(tracker.tier_hits),
+            evictions=tracker.stats.evictions,
+            resident_chunks=[len(keys) for keys in resident],
+            resident_tokens=resident_tokens,
+        )
+
+
+@dataclass
+class TieredStoreSimulation:
+    """Outcome of replaying one access trace through a tiered chunk store."""
+
+    #: Per request: ``(cached_fraction, prefix_fraction, slow_tier_fraction)``
+    #: where the slow fraction is of the *cached* chunks, matching
+    #: :attr:`~repro.serving.request.GenerationRequest.slow_tier_fraction`.
+    per_request: list[tuple[float, float, float]]
+    hit_rate: float
+    tier_hits: list[int]
+    evictions: int
+    resident_chunks: list[int]
+    resident_tokens: list[int]
+
+    @property
+    def slow_tier_hit_share(self) -> float:
+        total = sum(self.tier_hits)
+        return self.tier_hits[-1] / total if total else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "hit_rate": self.hit_rate,
+            "tier_hits": list(self.tier_hits),
+            "slow_tier_hit_share": self.slow_tier_hit_share,
+            "evictions": self.evictions,
+            "resident_chunks": list(self.resident_chunks),
+            "resident_tokens": list(self.resident_tokens),
+        }

@@ -39,6 +39,7 @@ Typical use::
 from __future__ import annotations
 
 import time
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -48,9 +49,11 @@ from repro.core.controller import ControllerDecision, LoadingController
 from repro.core.executor import PipelinedExecutor
 from repro.core.fusor import FusionResult, FusorConfig, KVFusor
 from repro.core.pipeline import PipelineTrace
+from repro.kvstore.config import StoreConfig
 from repro.kvstore.device import StorageDevice, get_device
+from repro.kvstore.protocol import ChunkStore
 from repro.kvstore.serialization import quantize_kv_to_store_dtype
-from repro.kvstore.store import KVCacheStore, chunk_key
+from repro.kvstore.store import chunk_key
 from repro.model.config import PAPER_MODEL_PAIRS, ModelConfig, get_config
 from repro.model.transformer import TransformerModel
 from repro.serving.costmodel import GPUSpec, OnlineCostCalibration, ServingCostModel
@@ -125,6 +128,9 @@ class _RequestInputs:
     #: Measured wall-clock spent prefilling cold chunks for this request.
     miss_prefill_s: float
     stats: dict[str, int]
+    #: Simulated extra seconds of store reads beyond the primary device's
+    #: rate — nonzero only when a tiered store served hits from a slow tier.
+    store_read_delay_s: float = 0.0
 
     @property
     def hits(self) -> int:
@@ -181,13 +187,14 @@ class BlendEngine:
         self,
         model: TransformerModel,
         tokenizer: Tokenizer,
-        kv_store: KVCacheStore,
+        kv_store: ChunkStore,
         controller: LoadingController,
         fusor_config: FusorConfig | None = None,
         timing_model: ModelConfig | None = None,
         encoding_cache_size: int = 1024,
         execution: str = "analytic",
         executor: PipelinedExecutor | None = None,
+        kv_dtype: str = "float16",
     ) -> None:
         if execution not in EXECUTION_MODES:
             raise ValueError(
@@ -195,7 +202,12 @@ class BlendEngine:
             )
         self.model = model
         self.tokenizer = tokenizer
+        #: Any :class:`~repro.kvstore.protocol.ChunkStore` backend — whole
+        #: chunk, radix-trie dedup, or a multi-tier hierarchy of either.
         self.kv_store = kv_store
+        #: Store payload dtype; chunk caches are round-tripped through it
+        #: before ``put`` so fusion sees exactly the stored precision.
+        self.kv_dtype = kv_dtype
         self.controller = controller
         self.fusor = KVFusor(model, fusor_config or FusorConfig())
         #: Architecture used for the TTFT estimates (defaults to the proxy).
@@ -248,6 +260,7 @@ class BlendEngine:
         vocab_size: int | None = None,
         execution: str = "analytic",
         calibration: OnlineCostCalibration | None = None,
+        store: StoreConfig | ChunkStore | None = None,
     ) -> "BlendEngine":
         """Build an engine for one of the paper's evaluated models.
 
@@ -257,6 +270,13 @@ class BlendEngine:
         ``calibration`` (one is created by default) accumulates the measured
         per-layer rates of every pipelined run; pass a shared instance to
         feed one calibration from several engines.
+
+        ``store`` selects the KV store backend: a
+        :class:`~repro.kvstore.config.StoreConfig` recipe (chunk / trie /
+        tiered), or a pre-built :class:`~repro.kvstore.protocol.ChunkStore`.
+        The default is a whole-chunk store on ``device``.
+        ``store_capacity_bytes`` is deprecated — pass
+        ``store=StoreConfig(capacity_bytes=...)`` instead.
         """
         if paper_model not in PAPER_MODEL_PAIRS:
             known = ", ".join(sorted(PAPER_MODEL_PAIRS))
@@ -271,14 +291,39 @@ class BlendEngine:
         if n_gpus is None:
             n_gpus = 2 if paper_model == "Llama-70B" else 1
 
+        if store_capacity_bytes is not None:
+            if store is not None:
+                raise ValueError(
+                    "pass either store= or the deprecated store_capacity_bytes=, not both"
+                )
+            warnings.warn(
+                "store_capacity_bytes= is deprecated; pass "
+                "store=StoreConfig(capacity_bytes=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            store = StoreConfig(capacity_bytes=store_capacity_bytes)
+
         model = TransformerModel(proxy_config, seed=seed)
         tokenizer = Tokenizer(vocab_size=proxy_config.vocab_size)
         storage = device if isinstance(device, StorageDevice) else get_device(device)
-        kv_store = KVCacheStore(
-            device=storage,
-            dtype_bytes=timing_config.dtype_bytes,
-            capacity_bytes=store_capacity_bytes,
-        )
+        kv_dtype = "float16"
+        if store is None:
+            store = StoreConfig()
+        if isinstance(store, StoreConfig):
+            kv_dtype = store.kv_dtype
+            # Legacy single-tier configs keep pricing bytes at the timing
+            # model's KV width; tiered/trie backends use the store dtype.
+            dtype_bytes = (
+                timing_config.dtype_bytes
+                if store.backend == "chunk" and store.kv_dtype == "float16"
+                else store.dtype_bytes
+            )
+            kv_store = store.build(
+                device=None if store.tiered else storage, dtype_bytes=dtype_bytes
+            )
+        else:
+            kv_store = store
         cost_model = ServingCostModel(
             timing_config,
             GPUSpec(),
@@ -294,6 +339,7 @@ class BlendEngine:
             fusor_config=FusorConfig(recompute_ratio=recompute_ratio),
             timing_model=timing_config,
             execution=execution,
+            kv_dtype=kv_dtype,
         )
 
     # ------------------------------------------------------------------
@@ -315,7 +361,7 @@ class BlendEngine:
         key = self.chunk_cache_key(token_ids)
         if not self.kv_store.contains(key):
             cache = self.model.chunk_prefill(token_ids, start_position=0)
-            self.kv_store.put(key, quantize_kv_to_store_dtype(cache))
+            self.kv_store.put(key, quantize_kv_to_store_dtype(cache, self.kv_dtype))
         return key
 
     def precompute_chunks(self, texts: list[str]) -> list[str]:
@@ -350,28 +396,42 @@ class BlendEngine:
             "hits": 0,
             "misses": 0,
             "miss_tokens": 0,
+            "slow_tier_hits": 0,
             "tokenizer_hits": 0,
             "tokenizer_misses": 0,
         }
         context_tokens = 0
         miss_prefill_s = 0.0
+        store_read_delay_s = 0.0
+        primary = self.kv_store.device
         for text in chunk_texts:
             token_ids, encoded_hit = self._encode(text)
             stats["tokenizer_hits" if encoded_hit else "tokenizer_misses"] += 1
             context_tokens += int(token_ids.size)
             key = self.chunk_cache_key(token_ids)
-            cached = self.kv_store.get(key)
+            found = self.kv_store.lookup(key)
+            cached = found.cache
             if cached is None:
                 stats["misses"] += 1
                 stats["miss_tokens"] += int(token_ids.size)
                 start = time.perf_counter()
                 cached = quantize_kv_to_store_dtype(
-                    self.model.chunk_prefill(token_ids, start_position=0)
+                    self.model.chunk_prefill(token_ids, start_position=0),
+                    self.kv_dtype,
                 )
                 miss_prefill_s += time.perf_counter() - start
                 self.kv_store.put(key, cached)
             else:
                 stats["hits"] += 1
+                # Reads at the primary (fastest) device's rate are already
+                # part of the pipeline's per-layer load delay; only the
+                # slow-tier excess is charged on top.  Exactly zero for any
+                # single-tier store.
+                store_read_delay_s += max(
+                    0.0, found.read_delay - primary.read_time(found.nbytes)
+                )
+                if found.tier_index is not None and found.tier_index > 0:
+                    stats["slow_tier_hits"] += 1
             chunk_caches.append(cached)
 
         suffix_ids, suffix_hit = self._encode(question)
@@ -383,6 +443,7 @@ class BlendEngine:
             miss_tokens=stats["miss_tokens"],
             miss_prefill_s=miss_prefill_s,
             stats=stats,
+            store_read_delay_s=store_read_delay_s,
         )
 
     def _executor_for(self, device: StorageDevice) -> PipelinedExecutor:
@@ -508,6 +569,7 @@ class BlendEngine:
             inputs.miss_tokens,
             ratio,
             decision.device,
+            store_read_delay_s=inputs.store_read_delay_s,
         )
         if mode == "pipelined":
             if measured_ttft is not None and measured_first_decode_s is not None:
@@ -565,6 +627,7 @@ class BlendEngine:
                 inputs.suffix_ids,
                 recompute_ratio=ratio,
                 pipelined=True,
+                extra_load_delay=inputs.store_read_delay_s,
             )
             self._observe(executed.trace, inputs, executed.fusion)
             first_decode_s, generated = self._decode_session_batch(
@@ -640,6 +703,7 @@ class BlendEngine:
             [(inputs.chunk_caches, inputs.suffix_ids) for inputs in gathered],
             recompute_ratio=[ratio for _, ratio in decisions],
             pipelined=True,
+            extra_load_delay=[inputs.store_read_delay_s for inputs in gathered],
         )
         for inputs, request in zip(gathered, executed):
             self._observe(request.trace, inputs, request.fusion)
@@ -672,13 +736,15 @@ class BlendEngine:
     def cache_stats(self) -> dict[str, float]:
         """JSON-friendly snapshot of the KV store's and tokenizer's counters."""
         stats = self.kv_store.stats.as_dict()
+        # A tiered store keeps bytes in its tiers, not the top-level counter.
+        stats["bytes_stored"] = self.kv_store.bytes_stored
         stats["tokenizer_hits"] = self._encodings.hits
         stats["tokenizer_misses"] = self._encodings.misses
         return stats
 
     def reset_cache_stats(self) -> None:
         """Zero the KV store and tokenizer counters (e.g. between cells)."""
-        self.kv_store.stats.reset()
+        self.kv_store.reset_stats()
         self._encodings.reset_stats()
 
     # ------------------------------------------------------------------
@@ -689,6 +755,7 @@ class BlendEngine:
         n_miss: int,
         ratio: float,
         device: StorageDevice,
+        store_read_delay_s: float = 0.0,
     ) -> float:
         """TTFT estimate on the paper architecture, including cold-chunk cost."""
         cost_model = self.controller.cost_model
@@ -697,6 +764,9 @@ class BlendEngine:
         if n_miss > 0:
             # Cold chunks must be prefilled (they are then stored for later).
             ttft += cost_model.prefill_time(n_miss)
+        # Hits served from a slow store tier read slower than `device`; the
+        # excess extends the load side of the pipeline.
+        ttft += store_read_delay_s
         # Include the first decode step, as TTFT is measured to the first token.
         ttft += cost_model.decode_time_per_token(context_tokens=n_total)
         return ttft

@@ -202,6 +202,7 @@ class PipelinedExecutor:
         suffix_token_ids: np.ndarray,
         recompute_ratio: float | None = None,
         pipelined: bool = True,
+        extra_load_delay: float = 0.0,
     ) -> ExecutionResult:
         """Fuse *chunk_caches* + suffix, measuring the load/compute schedule.
 
@@ -211,11 +212,16 @@ class PipelinedExecutor:
         paths run the identical fusor numerics and return identical
         :class:`FusionResult` contents (up to float scheduling noise — the
         numerics are deterministic).
+
+        ``extra_load_delay`` adds that many seconds of simulated transfer to
+        the request's loads (spread evenly across layers) — how the engine
+        charges slow-tier store reads onto the measured pipeline.
         """
         batch = self.execute_batch(
             [(chunk_caches, suffix_token_ids)],
             recompute_ratio=recompute_ratio,
             pipelined=pipelined,
+            extra_load_delay=[extra_load_delay],
         )
         return batch.requests[0]
 
@@ -225,6 +231,7 @@ class PipelinedExecutor:
         items: list[tuple[list[KVCache], np.ndarray]],
         recompute_ratio: float | list[float | None] | None = None,
         pipelined: bool = True,
+        extra_load_delay: list[float] | None = None,
     ) -> BatchExecutionResult:
         """Fuse a queue of ``(chunk_caches, suffix_token_ids)`` requests.
 
@@ -240,7 +247,10 @@ class PipelinedExecutor:
         against.
 
         ``recompute_ratio`` may be a single value for the whole queue or one
-        value per request.  All returned traces share the batch time origin.
+        value per request.  ``extra_load_delay`` (one value per request)
+        adds simulated transfer seconds to a request's loads, spread evenly
+        across its layers — the engine's channel for slow-tier store reads.
+        All returned traces share the batch time origin.
         """
         if not items:
             raise ValueError("execute_batch needs at least one request")
@@ -250,10 +260,16 @@ class PipelinedExecutor:
             ratios = list(recompute_ratio)
         else:
             ratios = [recompute_ratio] * len(items)
+        if extra_load_delay is None:
+            extras = [0.0] * len(items)
+        else:
+            if len(extra_load_delay) != len(items):
+                raise ValueError("need one extra_load_delay per request")
+            extras = [float(extra) for extra in extra_load_delay]
 
         plans = [
-            self._plan_request(chunk_caches, suffix_ids, ratio)
-            for (chunk_caches, suffix_ids), ratio in zip(items, ratios)
+            self._plan_request(chunk_caches, suffix_ids, ratio, extra)
+            for (chunk_caches, suffix_ids), ratio, extra in zip(items, ratios, extras)
         ]
         n_layers = self.model.config.n_layers
         n_requests = len(plans)
@@ -372,6 +388,7 @@ class PipelinedExecutor:
         chunk_caches: list[KVCache],
         suffix_token_ids: np.ndarray,
         recompute_ratio: float | None,
+        extra_load_delay: float = 0.0,
     ) -> _RequestPlan:
         """Validate one request and plan its layout and simulated delay.
 
@@ -382,6 +399,8 @@ class PipelinedExecutor:
         """
         if recompute_ratio is not None and not 0.0 <= recompute_ratio <= 1.0:
             raise ValueError("recompute_ratio must be in [0, 1]")
+        if extra_load_delay < 0.0:
+            raise ValueError("extra_load_delay must be non-negative")
         layout = self.fusor.plan_layout(chunk_caches, suffix_token_ids)
         # fp16 K+V bytes of one layer across the request's chunks (what
         # pack_layer_kv will produce), computable without packing.
@@ -393,6 +412,9 @@ class PipelinedExecutor:
             if self.layer_load_time is not None
             else self.device.read_time(layer_nbytes) * self.time_scale
         )
+        n_layers = self.model.config.n_layers
+        if extra_load_delay > 0.0 and n_layers:
+            delay = float(delay) + extra_load_delay / n_layers
         return _RequestPlan(
             layout=layout,
             chunk_caches=chunk_caches,

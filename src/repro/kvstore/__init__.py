@@ -2,31 +2,46 @@
 
 Models the storage side of CacheBlend: the devices KV caches can live on
 (GPU HBM, CPU RAM, NVMe SSD, slower disks, object stores), serialization and
-size accounting, a hash-addressed chunk KV store with LRU eviction, and a
-multi-tier store used by the prefix-caching baseline (RAM + SSD).
+size accounting, and the :class:`ChunkStore` backends — a hash-addressed
+whole-chunk store with LRU eviction, a radix-trie store deduplicating shared
+token prefixes, and a multi-tier store (RAM + SSD) with promotion/demotion.
 """
 
-from repro.kvstore.device import DEVICE_PRESETS, StorageDevice
+from repro.kvstore.config import KV_DTYPE_BYTES, STORE_BACKENDS, StoreConfig
+from repro.kvstore.device import DEVICE_PRESETS, StorageDevice, get_device
+from repro.kvstore.hierarchy import TieredChunkTracker, TieredKVStore, TierLookup
+from repro.kvstore.protocol import ChunkStore, StoreLookup
 from repro.kvstore.serialization import deserialize_kv, kv_nbytes, serialize_kv
 from repro.kvstore.store import (
+    CHUNK_KEY_VERSION,
     CacheStats,
     ChunkUsageTracker,
     EvictionPolicy,
     KVCacheStore,
     chunk_key,
 )
-from repro.kvstore.hierarchy import TieredKVStore
+from repro.kvstore.trie import RadixTrieStore
 
 __all__ = [
     "DEVICE_PRESETS",
     "StorageDevice",
+    "get_device",
     "serialize_kv",
     "deserialize_kv",
     "kv_nbytes",
+    "ChunkStore",
+    "StoreLookup",
     "KVCacheStore",
+    "RadixTrieStore",
     "CacheStats",
     "ChunkUsageTracker",
     "EvictionPolicy",
     "chunk_key",
+    "CHUNK_KEY_VERSION",
     "TieredKVStore",
+    "TieredChunkTracker",
+    "TierLookup",
+    "StoreConfig",
+    "STORE_BACKENDS",
+    "KV_DTYPE_BYTES",
 ]

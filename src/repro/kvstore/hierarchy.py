@@ -3,56 +3,107 @@
 The prefix-caching baseline in the paper stores KV caches "in both RAM and
 SSD"; this tiered store models that: lookups search tiers from fastest to
 slowest, hits are optionally promoted to the fastest tier, and inserts go to
-the fastest tier that can hold the entry (falling back to slower tiers).
+the fastest tier whose capacity can hold the entry.  Capacity-driven
+evictions in a tier *demote* the victim to the next tier down (via the
+tiers' ``on_evict`` hooks) instead of dropping it, so the hierarchy behaves
+like an inclusive RAM cache over a larger SSD working set.
+
+:class:`TieredKVStore` implements the same :class:`~repro.kvstore.protocol.
+ChunkStore` surface as the single-tier stores — ``get`` returns the cache,
+``lookup`` returns a :class:`~repro.kvstore.protocol.StoreLookup` whose
+``read_delay`` is the serving tier's — so a
+:class:`~repro.core.blend_engine.BlendEngine` can sit on top of either
+without caring.  Tiers may themselves be whole-chunk
+:class:`~repro.kvstore.store.KVCacheStore` or dedup
+:class:`~repro.kvstore.trie.RadixTrieStore` instances.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.kvstore.store import CacheStats, KVCacheStore
+from repro.kvstore.device import StorageDevice
+from repro.kvstore.protocol import StoreLookup
+from repro.kvstore.store import CacheStats, EvictionPolicy
 from repro.model.tensors import KVCache
 
-
-@dataclass
-class TierLookup:
-    """Result of a tiered lookup: the cache plus where it was found."""
-
-    cache: KVCache | None
-    tier_index: int | None
-    read_delay: float
+#: Backward-compatible alias: tiered lookups used to return a dedicated
+#: ``TierLookup``; the unified protocol folded it into ``StoreLookup``.
+TierLookup = StoreLookup
 
 
 @dataclass
 class TieredKVStore:
-    """An ordered list of stores, fastest first."""
+    """An ordered list of single-tier stores, fastest first.
 
-    tiers: list[KVCacheStore]
+    Each tier keeps its own :class:`CacheStats` (per-tier hit rates and
+    residency); the tiered store's own ``stats`` aggregates top-level
+    hits/misses/inserts so it drops in wherever a single store's counters
+    were read.
+    """
+
+    tiers: list
     promote_on_hit: bool = True
+    #: Demote a tier's eviction victims into the next tier down instead of
+    #: dropping them (the last tier always drops).
+    demote_on_evict: bool = True
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
         if not self.tiers:
             raise ValueError("a tiered store needs at least one tier")
+        if self.demote_on_evict:
+            for index, tier in enumerate(self.tiers[:-1]):
+                tier.on_evict = self._demoter(index + 1)
 
+    def _demoter(self, to_index: int):
+        def demote(key: str, cache: KVCache) -> None:
+            below = self.tiers[to_index]
+            if below.contains(key):
+                return  # inclusive hierarchy: a promoted copy already lives below
+            nbytes = cache.nbytes(below.dtype_bytes)
+            if nbytes <= below.capacity_bytes:
+                below.put(key, cache)
+
+        return demote
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
     def contains(self, key: str) -> bool:
         return any(tier.contains(key) for tier in self.tiers)
 
-    def get(self, key: str) -> TierLookup:
-        """Look *key* up tier by tier, promoting on hit if configured."""
+    def get(self, key: str) -> KVCache | None:
+        """Look *key* up tier by tier; returns the cache like any ChunkStore."""
+        return self.lookup(key).cache
+
+    def lookup(self, key: str) -> StoreLookup:
+        """Tiered lookup: the serving tier's read delay, promotion on hit."""
         for index, tier in enumerate(self.tiers):
-            if tier.contains(key):
-                delay = tier.read_delay(key)
-                cache = tier.get(key)
+            found = tier.lookup(key)
+            if found.hit:
                 self.stats.hits += 1
-                if self.promote_on_hit and index > 0 and cache is not None:
-                    self._try_promote(key, cache)
-                return TierLookup(cache=cache, tier_index=index, read_delay=delay)
+                if self.promote_on_hit and index > 0:
+                    self._try_promote(key, found.cache)
+                return StoreLookup(
+                    cache=found.cache,
+                    read_delay=found.read_delay,
+                    tier_index=index,
+                    nbytes=found.nbytes,
+                )
         self.stats.misses += 1
-        return TierLookup(cache=None, tier_index=None, read_delay=0.0)
+        return StoreLookup(cache=None)
+
+    def peek(self, key: str) -> KVCache | None:
+        """Fetch without touching statistics, recency or promotion."""
+        for tier in self.tiers:
+            cache = tier.peek(key)
+            if cache is not None:
+                return cache
+        return None
 
     def put(self, key: str, cache: KVCache) -> int:
-        """Insert into the fastest tier with room (evicting there if needed)."""
+        """Insert into the fastest tier whose capacity holds the entry."""
         for index, tier in enumerate(self.tiers):
             nbytes = cache.nbytes(tier.dtype_bytes)
             if nbytes <= tier.capacity_bytes:
@@ -62,15 +113,129 @@ class TieredKVStore:
                 raise ValueError("cache does not fit in any tier")
         raise AssertionError("unreachable")
 
+    def remove(self, key: str) -> bool:
+        removed = False
+        for tier in self.tiers:
+            removed = tier.remove(key) or removed
+        return removed
+
+    def clear(self) -> None:
+        for tier in self.tiers:
+            tier.clear()
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        for tier in self.tiers:
+            tier.reset_stats()
+
     def _try_promote(self, key: str, cache: KVCache) -> None:
         fastest = self.tiers[0]
         if cache.nbytes(fastest.dtype_bytes) <= fastest.capacity_bytes:
             fastest.put(key, cache)
 
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def device(self) -> StorageDevice:
+        """The fastest tier's device (what callers price promotions at)."""
+        return self.tiers[0].device
+
+    @property
+    def dtype_bytes(self) -> int:
+        return self.tiers[0].dtype_bytes
+
+    @property
+    def bytes_stored(self) -> int:
+        return sum(tier.bytes_stored for tier in self.tiers)
+
     @property
     def total_bytes_stored(self) -> int:
-        return sum(tier.bytes_stored for tier in self.tiers)
+        return self.bytes_stored
 
     @property
     def n_entries(self) -> int:
         return sum(tier.n_entries for tier in self.tiers)
+
+    def stats_by_tier(self) -> list[dict[str, float]]:
+        """Per-tier stat snapshots, fastest first (for reports)."""
+        return [
+            {"device": tier.device.name, **tier.stats.as_dict()}
+            for tier in self.tiers
+        ]
+
+
+@dataclass
+class TieredChunkTracker:
+    """Key-only model of a tiered chunk store, for hit-rate accounting.
+
+    The tiered analogue of :class:`~repro.kvstore.store.ChunkUsageTracker`:
+    tracks which chunk keys each tier would hold — LRU replacement, hits
+    promoted to tier 0, victims demoted one tier down — without
+    materialising KV tensors.  The workload generator replays recorded chunk
+    accesses through it to derive, per request, how much cached context is
+    resident in each tier under a given capacity.
+    """
+
+    tier_capacities: tuple[int, ...]
+    promote_on_hit: bool = True
+    demote_on_evict: bool = True
+    policy: EvictionPolicy = EvictionPolicy.LRU
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if not self.tier_capacities:
+            raise ValueError("need at least one tier capacity")
+        if any(cap < 1 for cap in self.tier_capacities):
+            raise ValueError("tier capacities must be >= 1")
+        from collections import OrderedDict
+
+        self._tiers: list = [OrderedDict() for _ in self.tier_capacities]
+        self.tier_hits: list[int] = [0 for _ in self.tier_capacities]
+
+    def access(self, key: object) -> int | None:
+        """Record one chunk access; returns the serving tier index, or None.
+
+        A miss inserts the chunk at tier 0 (the real system precomputes and
+        stores it there), cascading demotions down the hierarchy.
+        """
+        for index, keys in enumerate(self._tiers):
+            if key in keys:
+                self.stats.hits += 1
+                self.tier_hits[index] += 1
+                if self.policy is EvictionPolicy.LRU:
+                    keys.move_to_end(key)
+                if self.promote_on_hit and index > 0:
+                    del keys[key]
+                    self._insert(0, key)
+                return index
+        self.stats.misses += 1
+        self._insert(0, key)
+        self.stats.inserts += 1
+        return None
+
+    def _insert(self, tier: int, key: object) -> None:
+        keys = self._tiers[tier]
+        while len(keys) >= self.tier_capacities[tier]:
+            victim, _ = keys.popitem(last=False)
+            self.stats.evictions += 1
+            if self.demote_on_evict and tier + 1 < len(self._tiers):
+                if victim not in self._tiers[tier + 1]:
+                    self._insert(tier + 1, victim)
+        keys[key] = None
+
+    def contains(self, key: object) -> bool:
+        return any(key in keys for keys in self._tiers)
+
+    def tier_of(self, key: object) -> int | None:
+        for index, keys in enumerate(self._tiers):
+            if key in keys:
+                return index
+        return None
+
+    def resident_keys_by_tier(self) -> list[list[object]]:
+        return [list(keys) for keys in self._tiers]
+
+    @property
+    def n_entries(self) -> int:
+        return sum(len(keys) for keys in self._tiers)

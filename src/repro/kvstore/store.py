@@ -9,28 +9,45 @@ least-recently-used entry is evicted (paper §5.1, "KV cache store").
 from __future__ import annotations
 
 import enum
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro.kvstore.device import StorageDevice
+from repro.kvstore.protocol import StoreLookup
 from repro.kvstore.serialization import kv_nbytes
 from repro.model.tensors import KVCache
-from repro.tokenizer.vocab import stable_hash
+
+#: Version prefix of :func:`chunk_key`.  v1 hashed a ","-joined decimal
+#: string of the token ids (O(T) Python string work per lookup); v2 hashes
+#: the raw int64 bytes of the id array directly.  The prefix makes the
+#: format change explicit: a v2 store never aliases v1 entries.
+CHUNK_KEY_VERSION = "k2"
 
 
 def chunk_key(token_ids: np.ndarray, model_name: str = "", prefix_key: str = "") -> str:
-    """Stable cache key for a chunk.
+    """Stable cache key for a chunk (``"k2-<hex digest>"``).
+
+    The digest covers the raw little-endian int64 bytes of the token-id
+    array — no per-token Python string formatting — plus the model name and
+    ``prefix_key``, NUL-separated so field boundaries cannot alias.
 
     ``prefix_key`` is empty for CacheBlend and full-KV-reuse (the cache is
     position independent after re-alignment); prefix caching passes the key of
     the preceding context so that the same chunk under different prefixes maps
     to different entries — the storage blow-up the paper points out in §7.2.
     """
-    ids = np.asarray(token_ids, dtype=np.int64)
-    payload = model_name + "|" + prefix_key + "|" + ",".join(str(int(t)) for t in ids)
-    return f"{stable_hash(payload):016x}"
+    ids = np.ascontiguousarray(np.asarray(token_ids, dtype="<i8"))
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(model_name.encode())
+    digest.update(b"\x00")
+    digest.update(prefix_key.encode())
+    digest.update(b"\x00")
+    digest.update(ids.tobytes())
+    return f"{CHUNK_KEY_VERSION}-{digest.hexdigest()}"
 
 
 class EvictionPolicy(str, enum.Enum):
@@ -49,6 +66,8 @@ class CacheStats:
     evictions: int = 0
     inserts: int = 0
     bytes_stored: int = 0
+    #: TTL-driven removals (only the trie store expires entries today).
+    expirations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -64,6 +83,7 @@ class CacheStats:
         self.misses = 0
         self.evictions = 0
         self.inserts = 0
+        self.expirations = 0
 
     def as_dict(self) -> dict[str, float]:
         """JSON-friendly snapshot, including the derived hit rate."""
@@ -100,6 +120,11 @@ class KVCacheStore:
     capacity_bytes:
         Optional override of the device capacity (useful to provoke evictions
         in experiments without multi-terabyte contexts).
+    on_evict:
+        Optional callback invoked as ``on_evict(key, cache)`` for every
+        capacity-driven eviction — the hook :class:`~repro.kvstore.hierarchy.
+        TieredKVStore` uses to demote victims to the next tier instead of
+        dropping them.
     """
 
     device: StorageDevice
@@ -107,6 +132,7 @@ class KVCacheStore:
     policy: EvictionPolicy = EvictionPolicy.LRU
     capacity_bytes: int | None = None
     stats: CacheStats = field(default_factory=CacheStats)
+    on_evict: Callable[[str, KVCache], None] | None = field(default=None, repr=False)
     _entries: "OrderedDict[str, _Entry]" = field(default_factory=OrderedDict)
 
     def __post_init__(self) -> None:
@@ -131,6 +157,21 @@ class KVCacheStore:
         if self.policy is EvictionPolicy.LRU:
             self._entries.move_to_end(key)
         return entry.cache
+
+    def lookup(self, key: str) -> StoreLookup:
+        """Like :meth:`get`, but also reports the simulated read delay."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return StoreLookup(cache=None)
+        self.stats.hits += 1
+        if self.policy is EvictionPolicy.LRU:
+            self._entries.move_to_end(key)
+        return StoreLookup(
+            cache=entry.cache,
+            read_delay=self.device.read_time(entry.nbytes),
+            nbytes=entry.nbytes,
+        )
 
     def peek(self, key: str) -> KVCache | None:
         """Fetch without touching statistics or recency (used by tooling)."""
@@ -166,13 +207,19 @@ class KVCacheStore:
         self._entries.clear()
         self.stats.bytes_stored = 0
 
+    def reset_stats(self) -> None:
+        """Zero the counters (``bytes_stored`` reflects live entries, stays)."""
+        self.stats.reset()
+
     def _evict_one(self) -> int:
         if not self._entries:
             raise RuntimeError("eviction requested on an empty store")
         # Both LRU and FIFO evict from the front; LRU refreshes order on get().
-        _, entry = self._entries.popitem(last=False)
+        key, entry = self._entries.popitem(last=False)
         self.stats.bytes_stored -= entry.nbytes
         self.stats.evictions += 1
+        if self.on_evict is not None:
+            self.on_evict(key, entry.cache)
         return entry.nbytes
 
     # ------------------------------------------------------------------

@@ -354,11 +354,43 @@ class ServingCostModel:
         """Prefix caching TTFT with the paper's idealised zero loading delay."""
         return self.prefill_time_with_prefix(n_tokens, n_prefix)
 
-    def ttft_full_reuse(
-        self, n_tokens: int, n_suffix: int, device: StorageDevice, pipelined: bool = True
+    def _tiered_layer_load(
+        self,
+        n_tokens: int,
+        device: StorageDevice,
+        n_fast_tokens: int,
+        fast_device: StorageDevice | None,
     ) -> float:
-        """Full KV reuse: load everything, recompute only the new suffix."""
-        load = [self.kv_load_time_per_layer(n_tokens, device)] * self.model.n_layers
+        """Per-layer load delay of *n_tokens*, a part resident on a fast tier.
+
+        With ``n_fast_tokens == 0`` (or no fast device) this is exactly
+        ``kv_load_time_per_layer(n_tokens, device)`` — the untiered pricing.
+        """
+        if n_fast_tokens <= 0 or fast_device is None:
+            return self.kv_load_time_per_layer(n_tokens, device)
+        n_fast = min(n_fast_tokens, n_tokens)
+        return self.kv_load_time_per_layer(
+            n_tokens - n_fast, device
+        ) + self.kv_load_time_per_layer(n_fast, fast_device)
+
+    def ttft_full_reuse(
+        self,
+        n_tokens: int,
+        n_suffix: int,
+        device: StorageDevice,
+        pipelined: bool = True,
+        n_fast_tokens: int = 0,
+        fast_device: StorageDevice | None = None,
+    ) -> float:
+        """Full KV reuse: load everything, recompute only the new suffix.
+
+        ``n_fast_tokens``/``fast_device`` split the loaded context across a
+        tiered store: that many tokens read at the fast tier's rate, the
+        rest at *device* (the slow tier).
+        """
+        load = [
+            self._tiered_layer_load(n_tokens, device, n_fast_tokens, fast_device)
+        ] * self.model.n_layers
         suffix_fraction = n_suffix / n_tokens if n_tokens else 0.0
         compute = [
             self.recompute_layer_time(n_tokens, suffix_fraction)
@@ -373,13 +405,22 @@ class ServingCostModel:
         ratio: float,
         device: StorageDevice,
         pipelined: bool = True,
+        n_fast_tokens: int = 0,
+        fast_device: StorageDevice | None = None,
     ) -> float:
-        """CacheBlend TTFT: per-layer max of KV loading and selective recompute."""
+        """CacheBlend TTFT: per-layer max of KV loading and selective recompute.
+
+        ``n_fast_tokens``/``fast_device`` price a tiered store: that many of
+        the loaded context tokens read at the fast tier's rate, the rest at
+        *device*.  The defaults reproduce the untiered single-device cost.
+        """
         if n_tokens <= 0:
             return 0.0
         n_context = n_tokens - n_suffix
         recomputed_fraction = (ratio * n_context + n_suffix) / n_tokens
-        load = [self.kv_load_time_per_layer(n_context, device)] * self.model.n_layers
+        load = [
+            self._tiered_layer_load(n_context, device, n_fast_tokens, fast_device)
+        ] * self.model.n_layers
         compute = [
             self.recompute_layer_time(n_tokens, recomputed_fraction)
         ] * self.model.n_layers

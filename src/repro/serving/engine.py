@@ -69,12 +69,20 @@ class EngineResult:
 
 @dataclass
 class InferenceEngine:
-    """Service-time estimator for one scheme on one model/device pair."""
+    """Service-time estimator for one scheme on one model/device pair.
+
+    ``fast_device`` models a tiered KV store: requests carrying a
+    ``slow_tier_fraction`` split their cached-context loads between this
+    (RAM) tier and ``device`` (the slow tier).  Without it — or for requests
+    with ``slow_tier_fraction=None`` — all cached loads are priced at
+    ``device``, the historical single-store behaviour.
+    """
 
     cost_model: ServingCostModel
     scheme: str = "cacheblend"
     device: StorageDevice | None = None
     recompute_ratio: float = 0.15
+    fast_device: StorageDevice | None = None
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
@@ -91,6 +99,15 @@ class InferenceEngine:
         n_suffix = request.n_suffix_tokens
         cached_context = int(round(request.cached_chunk_fraction * request.n_context_tokens))
         cold_context = request.n_context_tokens - cached_context
+        # Tiered store split of the cached context: fast-tier tokens read at
+        # the RAM tier's rate, the rest at `device` (the slow tier).
+        slow_context = 0
+        fast_context = 0
+        if request.slow_tier_fraction is not None and self.fast_device is not None:
+            slow_context = min(
+                cached_context, int(round(request.slow_tier_fraction * cached_context))
+            )
+            fast_context = cached_context - slow_context
 
         if self.scheme == "full_recompute":
             prefill = self.cost_model.prefill_time(n_total)
@@ -105,7 +122,11 @@ class InferenceEngine:
             recomputed = float(n_total - n_prefix)
         elif self.scheme == "full_reuse":
             ttft_service = self.cost_model.ttft_full_reuse(
-                cached_context + n_suffix, n_suffix, self.device
+                cached_context + n_suffix,
+                n_suffix,
+                self.device,
+                n_fast_tokens=fast_context,
+                fast_device=self.fast_device,
             )
             gpu_time = self.cost_model.recompute_time(
                 cached_context + n_suffix, n_suffix / max(1, cached_context + n_suffix)
@@ -117,7 +138,12 @@ class InferenceEngine:
                 gpu_time += cold
         else:  # cacheblend
             ttft_service = self.cost_model.ttft_cacheblend(
-                cached_context + n_suffix, n_suffix, self.recompute_ratio, self.device
+                cached_context + n_suffix,
+                n_suffix,
+                self.recompute_ratio,
+                self.device,
+                n_fast_tokens=fast_context,
+                fast_device=self.fast_device,
             )
             recomputed_fraction = (
                 self.recompute_ratio * cached_context + n_suffix
@@ -159,6 +185,15 @@ class InferenceEngine:
                 if calibration.decode_ready
                 else first_token
             )
+            if slow_context > 0 and self.fast_device is not None:
+                # The calibrated per-layer load rate reflects fast-tier
+                # reads; KV spilled to the slow tier adds its read excess
+                # on top (per-tier delay in the measured column).
+                measured += max(
+                    0.0,
+                    self.cost_model.kv_load_time(slow_context, self.device)
+                    - self.cost_model.kv_load_time(slow_context, self.fast_device),
+                )
         # Pure device-wait share of the service time: what remains after the
         # GPU work *and* the per-request launch overhead (overhead is GPU-side
         # and cannot be hidden behind another request's compute).

@@ -28,6 +28,11 @@ class GenerationRequest:
     prefix_cached_fraction:
         Fraction of the context usable by *prefix* caching (only the leading
         chunk(s) shared with previous requests).
+    slow_tier_fraction:
+        Of the *cached* context, the fraction resident in the slow tier of a
+        tiered KV store (and read at that tier's rate) rather than the fast
+        (RAM) tier.  ``None`` means the store is untiered and all cached KV
+        reads are priced at the engine's single storage device, as before.
     """
 
     request_id: int
@@ -38,6 +43,7 @@ class GenerationRequest:
     arrival_time: float = 0.0
     cached_chunk_fraction: float = 1.0
     prefix_cached_fraction: float = 0.17
+    slow_tier_fraction: float | None = None
 
     def __post_init__(self) -> None:
         if self.n_chunks < 1 or self.chunk_tokens < 1:
@@ -46,6 +52,8 @@ class GenerationRequest:
             raise ValueError("cached_chunk_fraction must be in [0, 1]")
         if not 0.0 <= self.prefix_cached_fraction <= 1.0:
             raise ValueError("prefix_cached_fraction must be in [0, 1]")
+        if self.slow_tier_fraction is not None and not 0.0 <= self.slow_tier_fraction <= 1.0:
+            raise ValueError("slow_tier_fraction must be in [0, 1] when set")
 
     @property
     def n_context_tokens(self) -> int:

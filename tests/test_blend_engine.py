@@ -129,3 +129,55 @@ class TestBlendEngineRun:
         fast_ttft = fast.run(CHUNKS[:2], question, recompute_ratio=0.15).ttft
         slow_ttft = slow.run(CHUNKS[:2], question, recompute_ratio=0.15).ttft
         assert fast_ttft < slow_ttft
+
+
+class TestStoreParameter:
+    """The `store=` API and the `store_capacity_bytes=` deprecation path."""
+
+    def test_store_capacity_bytes_still_works_but_warns(self):
+        with pytest.warns(DeprecationWarning, match="store_capacity_bytes"):
+            engine = BlendEngine.build(
+                paper_model="Mistral-7B",
+                device="cpu_ram",
+                seed=0,
+                store_capacity_bytes=1 << 20,
+            )
+        assert engine.kv_store.capacity_bytes == 1 << 20
+
+    def test_store_and_store_capacity_bytes_are_mutually_exclusive(self):
+        from repro.kvstore.config import StoreConfig
+
+        with pytest.raises(ValueError, match="store_capacity_bytes"):
+            BlendEngine.build(
+                paper_model="Mistral-7B",
+                device="cpu_ram",
+                seed=0,
+                store=StoreConfig(),
+                store_capacity_bytes=1 << 20,
+            )
+
+    def test_tiered_trie_store_serves_the_engine(self):
+        from repro.kvstore.config import StoreConfig
+        from repro.kvstore.hierarchy import TieredKVStore
+
+        engine = BlendEngine.build(
+            paper_model="Mistral-7B",
+            device="nvme_ssd",
+            seed=0,
+            store=StoreConfig(backend="tiered_trie"),
+        )
+        assert isinstance(engine.kv_store, TieredKVStore)
+        engine.precompute_chunks(CHUNKS[:2])
+        result = engine.run(CHUNKS[:2], "does the tiered store serve hits?")
+        assert result.cache_hits == 2
+        assert engine.cache_stats["bytes_stored"] > 0
+
+    def test_prebuilt_store_instance_is_accepted(self):
+        from repro.kvstore.device import get_device
+        from repro.kvstore.trie import RadixTrieStore
+
+        store = RadixTrieStore(device=get_device("cpu_ram"))
+        engine = BlendEngine.build(
+            paper_model="Mistral-7B", device="cpu_ram", seed=0, store=store
+        )
+        assert engine.kv_store is store

@@ -196,3 +196,81 @@ class TestDecodeThroughputColumn:
         del document["cells"][0]["mean_decode_tokens_per_s"]
         with pytest.raises(ValueError):
             validate_report(document)
+
+
+class TestStoreCapacityAxis:
+    """The store-capacity sweep axis: per-cell hit rate, bytes and TTFT."""
+
+    @pytest.fixture(scope="class")
+    def store_report(self):
+        config = ExperimentConfig(
+            models=("mistral-7b",),
+            devices=("nvme_ssd",),
+            schemes=("cacheblend", "full_recompute"),
+            recompute_ratios=(0.15,),
+            n_requests=40,
+            store_capacity_chunks=(4, 64),
+            seed=0,
+        )
+        return ExperimentRunner(config).run()
+
+    def test_axis_multiplies_the_cell_count(self, store_report):
+        config = store_report.config
+        expected = (
+            len(config.store_capacity_chunks)
+            * len(config.models)
+            * len(config.devices)
+            * len(config.schemes)
+            * len(config.recompute_ratios)
+        )
+        assert len(store_report.cells) == expected
+
+    def test_cells_carry_the_store_columns(self, store_report):
+        for cell in store_report.cells:
+            assert cell.store_capacity_chunks in (4, 64)
+            assert 0.0 <= cell.store_hit_rate <= 1.0
+            assert cell.store_bytes_stored > 0
+            assert 0.0 <= cell.store_slow_tier_hit_share <= 1.0
+
+    def test_capacity_drives_the_hit_rate_ttft_hockey_stick(self, store_report):
+        cells = {
+            cell.store_capacity_chunks: cell
+            for cell in store_report.cells
+            if cell.scheme == "cacheblend"
+        }
+        small, large = cells[4], cells[64]
+        assert small.store_hit_rate < large.store_hit_rate
+        assert small.store_bytes_stored < large.store_bytes_stored
+        # Less resident KV means more recompute and more slow-tier reads:
+        # measured TTFT (per-tier read delays included) rises.
+        assert small.mean_ttft > large.mean_ttft
+
+    def test_store_columns_are_null_without_the_axis(self, report):
+        for cell in report.cells:
+            assert cell.store_capacity_chunks is None
+            assert cell.store_hit_rate is None
+            assert cell.store_bytes_stored is None
+            assert cell.store_slow_tier_hit_share is None
+
+    def test_document_with_the_axis_validates(self, store_report, tmp_path):
+        document = report_to_dict(store_report, tag="store")
+        validate_report(document)
+        for row in document["comparisons"]:
+            assert row["store_capacity_chunks"] in (4, 64)
+            assert 0.0 <= row["store_hit_rate"] <= 1.0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(store_capacity_chunks=(0,))
+        with pytest.raises(ValueError):
+            ExperimentConfig(store_slow_capacity_factor=0.5)
+
+    def test_cli_flags_reach_the_config(self):
+        from repro.bench.__main__ import build_parser, config_from_args
+
+        args = build_parser().parse_args(
+            ["--store-capacities", "8", "32", "--store-slow-factor", "2.0"]
+        )
+        config = config_from_args(args)
+        assert config.store_capacity_chunks == (8, 32)
+        assert config.store_slow_capacity_factor == 2.0

@@ -1,0 +1,191 @@
+"""Tiered KV store: promotion, demotion cascade, read delays, stats, config."""
+
+import numpy as np
+import pytest
+
+from repro.kvstore.config import StoreConfig
+from repro.kvstore.device import get_device
+from repro.kvstore.hierarchy import TieredChunkTracker, TieredKVStore
+from repro.kvstore.protocol import ChunkStore
+from repro.kvstore.store import KVCacheStore
+from repro.kvstore.trie import RadixTrieStore
+from repro.model.tensors import KVCache, LayerKV
+
+
+def _cache(seed: int, n_tokens: int = 4) -> KVCache:
+    ids = np.arange(seed * 100, seed * 100 + n_tokens, dtype=np.int64)
+    rows = np.full((n_tokens, 1, 2), float(seed))
+    return KVCache([LayerKV(rows.copy(), rows.copy())], ids, np.arange(n_tokens))
+
+
+ENTRY_BYTES = _cache(1).nbytes(2)
+
+
+def _tiered(ram_entries: int = 2, ssd_entries: int = 8) -> TieredKVStore:
+    return TieredKVStore(
+        tiers=[
+            KVCacheStore(
+                device=get_device("cpu_ram"),
+                dtype_bytes=2,
+                capacity_bytes=ram_entries * ENTRY_BYTES,
+            ),
+            KVCacheStore(
+                device=get_device("nvme_ssd"),
+                dtype_bytes=2,
+                capacity_bytes=ssd_entries * ENTRY_BYTES,
+            ),
+        ]
+    )
+
+
+class TestTieredLookup:
+    def test_put_lands_in_the_fastest_fitting_tier(self):
+        store = _tiered()
+        store.put("a", _cache(1))
+        assert store.tiers[0].contains("a")
+        assert not store.tiers[1].contains("a")
+
+    def test_lookup_reports_the_serving_tier_and_its_delay(self):
+        store = _tiered()
+        store.put("a", _cache(1))
+        store.tiers[1].put("b", _cache(2))
+        fast = store.lookup("a")
+        slow = store.lookup("b")
+        assert fast.tier_index == 0
+        assert slow.tier_index == 1
+        ram, ssd = get_device("cpu_ram"), get_device("nvme_ssd")
+        assert fast.read_delay == ram.read_time(ENTRY_BYTES)
+        # b was just promoted, but its *lookup* was served (and priced) at
+        # the SSD tier it was resident in.
+        assert slow.read_delay == ssd.read_time(ENTRY_BYTES)
+        assert slow.read_delay > fast.read_delay
+
+    def test_miss_reports_no_tier(self):
+        store = _tiered()
+        found = store.lookup("nope")
+        assert found.cache is None and found.tier_index is None
+        assert store.stats.misses == 1
+
+    def test_promotion_copies_slow_hits_to_ram(self):
+        store = _tiered()
+        store.tiers[1].put("b", _cache(2))
+        store.lookup("b")
+        # Inclusive hierarchy: the promoted copy lands in RAM, the SSD copy
+        # stays so a later RAM eviction does not have to write it back.
+        assert store.tiers[0].contains("b")
+        assert store.tiers[1].contains("b")
+        assert store.lookup("b").tier_index == 0
+
+    def test_promotion_can_be_disabled(self):
+        store = _tiered()
+        store.promote_on_hit = False
+        store.tiers[1].put("b", _cache(2))
+        store.lookup("b")
+        assert not store.tiers[0].contains("b")
+        assert store.tiers[1].contains("b")
+
+
+class TestDemotionCascade:
+    def test_ram_eviction_demotes_to_ssd(self):
+        store = _tiered(ram_entries=2)
+        for seed in (1, 2, 3):
+            store.put(f"c{seed}", _cache(seed))
+        # c1 was evicted from RAM to make room for c3 and landed on SSD.
+        assert not store.tiers[0].contains("c1")
+        assert store.tiers[1].contains("c1")
+        assert store.lookup("c1").tier_index == 1
+
+    def test_demotion_can_be_disabled(self):
+        store = TieredKVStore(
+            tiers=[
+                KVCacheStore(
+                    device=get_device("cpu_ram"),
+                    dtype_bytes=2,
+                    capacity_bytes=2 * ENTRY_BYTES,
+                ),
+                KVCacheStore(device=get_device("nvme_ssd"), dtype_bytes=2),
+            ],
+            demote_on_evict=False,
+        )
+        for seed in (1, 2, 3):
+            store.put(f"c{seed}", _cache(seed))
+        assert not store.contains("c1")
+
+    def test_oversized_entry_rejected_by_every_tier(self):
+        store = _tiered(ram_entries=1, ssd_entries=1)
+        with pytest.raises(ValueError, match="does not fit"):
+            store.put("big", _cache(1, n_tokens=64))
+
+
+class TestTieredStats:
+    def test_stats_aggregate_across_tiers(self):
+        store = _tiered()
+        store.put("a", _cache(1))
+        store.tiers[1].put("b", _cache(2))
+        store.lookup("a")
+        store.lookup("b")
+        store.lookup("nope")
+        assert store.stats.hits == 2
+        assert store.stats.misses == 1
+        # 3 resident copies: a in RAM, b in SSD plus its promoted RAM copy.
+        assert store.bytes_stored == 3 * ENTRY_BYTES
+        assert store.n_entries == 3
+
+    def test_stats_by_tier_names_the_devices(self):
+        store = _tiered()
+        per_tier = store.stats_by_tier()
+        assert [row["device"] for row in per_tier] == ["cpu_ram", "nvme_ssd"]
+        assert all("hits" in row and "bytes_stored" in row for row in per_tier)
+
+    def test_reset_stats_clears_every_tier(self):
+        store = _tiered()
+        store.lookup("nope")
+        store.reset_stats()
+        assert store.stats.misses == 0
+        assert all(tier.stats.misses == 0 for tier in store.tiers)
+
+
+class TestChunkStoreProtocol:
+    def test_every_backend_satisfies_the_protocol(self):
+        for store in (
+            KVCacheStore(device=get_device("cpu_ram")),
+            RadixTrieStore(device=get_device("cpu_ram")),
+            _tiered(),
+        ):
+            assert isinstance(store, ChunkStore)
+
+    def test_store_config_builds_every_backend(self):
+        for backend, expected in (
+            ("chunk", KVCacheStore),
+            ("trie", RadixTrieStore),
+            ("tiered", TieredKVStore),
+            ("tiered_trie", TieredKVStore),
+        ):
+            store = StoreConfig(backend=backend).build(device=get_device("cpu_ram"))
+            assert isinstance(store, expected)
+        trie_tiers = StoreConfig(backend="tiered_trie").build()
+        assert all(isinstance(tier, RadixTrieStore) for tier in trie_tiers.tiers)
+
+    def test_store_config_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            StoreConfig(backend="redis")
+
+
+class TestTieredChunkTracker:
+    def test_replays_hits_by_tier(self):
+        tracker = TieredChunkTracker(tier_capacities=(2, 4))
+        assert tracker.access("a") is None
+        assert tracker.access("b") is None
+        assert tracker.access("a") == 0
+        tracker.access("c")  # evicts "b" from RAM -> tier 1
+        assert tracker.tier_of("b") == 1
+        assert tracker.access("b") == 1
+        # The hit promoted "b" back to the RAM tier.
+        assert tracker.tier_of("b") == 0
+
+    def test_capacity_bounds_total_residency(self):
+        tracker = TieredChunkTracker(tier_capacities=(1, 2))
+        for key in "abcdef":
+            tracker.access(key)
+        assert tracker.n_entries == 3
+        assert tracker.stats.evictions > 0

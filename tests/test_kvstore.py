@@ -106,6 +106,14 @@ class TestChunkKey:
         assert chunk_key(ids, "m") != chunk_key(ids, "other-model")
         assert chunk_key(ids, "m") != chunk_key(ids, "m", prefix_key="p")
 
+    def test_key_format_is_versioned(self):
+        # "k2-" pins the raw-token-bytes hashing scheme: bump the version
+        # when the digest inputs change, so stale stores never alias.
+        key = chunk_key(np.array([1, 2, 3]), "m")
+        assert key.startswith("k2-")
+        tail = key[len("k2-"):]
+        assert len(tail) == 32 and all(c in "0123456789abcdef" for c in tail)
+
 
 class TestChunkUsageTracker:
     def test_hits_after_first_access(self):

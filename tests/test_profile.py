@@ -137,7 +137,7 @@ class TestDecodeSessionProfile:
 
     def test_session_op_is_timed_and_validated(self, document):
         assert document["ops"]["decode_session"]["min_s"] > 0.0
-        assert document["schema_version"] == 3
+        assert document["schema_version"] == 4
 
     def test_session_amortises_vs_sequential_at_batch_4(self, document):
         decode = document["decode"]
@@ -191,3 +191,40 @@ class TestDecodeSessionProfile:
         text = format_profile_summary(document)
         assert "decode session" in text
         assert "session step by batch width" in text
+
+
+class TestStoreProfile:
+    """Acceptance: the tiered trie lookup is profiled and gated, and the
+    shared-prefix family actually deduplicates in the committed numbers."""
+
+    def test_store_lookup_op_is_timed(self, document):
+        assert document["ops"]["store_lookup"]["min_s"] > 0.0
+
+    def test_store_block_shows_dedup(self, document):
+        store = document["store"]
+        assert store["bytes_stored"] > 0
+        assert store["bytes_stored"] < store["logical_bytes"]
+        assert store["dedup_ratio"] > 1.0
+        assert len(store["tiers"]) == 2
+
+    def test_store_lookup_is_gated(self, document):
+        baseline = copy.deepcopy(document)
+        baseline["ops"]["store_lookup"]["min_s"] = (
+            document["ops"]["store_lookup"]["min_s"] / 10.0
+        )
+        failures = check_against_baseline(document, baseline, max_regression=2.0)
+        assert len(failures) == 1
+        assert "store_lookup" in failures[0]
+
+    def test_validation_rejects_missing_store_block(self, document):
+        broken = copy.deepcopy(document)
+        del broken["store"]
+        with pytest.raises(ValueError):
+            validate_profile_report(broken)
+        broken = copy.deepcopy(document)
+        del broken["ops"]["store_lookup"]
+        with pytest.raises(ValueError):
+            validate_profile_report(broken)
+
+    def test_summary_renders_the_store_line(self, document):
+        assert "tiered trie store" in format_profile_summary(document)
