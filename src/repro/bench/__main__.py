@@ -18,9 +18,14 @@ import json
 import sys
 from pathlib import Path
 
-from repro.bench.experiment import SCHEDULERS, ExperimentConfig, ExperimentRunner
+from repro.bench.experiment import (
+    ADMISSION_POLICIES,
+    SCHEDULERS,
+    ExperimentConfig,
+    ExperimentRunner,
+)
 from repro.bench.report import format_summary, report_to_dict, save_report
-from repro.bench.workload import DATASET_PRESETS
+from repro.bench.workload import ARRIVAL_PATTERNS, DATASET_PRESETS
 from repro.kvstore.device import DEVICE_PRESETS
 from repro.model.config import MODEL_PRESETS
 from repro.serving.engine import SCHEMES
@@ -68,6 +73,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload dataset preset",
     )
     parser.add_argument("--rate", type=float, default=1.0, help="requests per second")
+    parser.add_argument(
+        "--arrival", default="poisson", choices=ARRIVAL_PATTERNS,
+        help="arrival process: poisson, or the overload-inducing bursty/"
+        "diurnal presets (same average rate, transient overload windows)",
+    )
+    parser.add_argument(
+        "--ttft-slo", type=float, default=None, metavar="SECONDS",
+        help="stamp this TTFT deadline on every request (enables goodput/"
+        "SLO-attainment accounting; required for --admission-policies slo)",
+    )
+    parser.add_argument(
+        "--admission-policies", nargs="+", default=None,
+        choices=ADMISSION_POLICIES, metavar="POLICY",
+        help="admission-policy axis: each cell is scheduled once per policy "
+        "('none' serves everything; 'slo' rejects predicted deadline misses "
+        "and preempts decode slots for at-risk prefills)",
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="P",
+        help="inject chunk-store lookup faults at this per-chunk probability: "
+        "faulted chunks are recomputed (correct output, higher TTFT) and "
+        "cells report the measured TTFT inflation vs a clean twin; also "
+        "wraps the proxy probe's store in the fault injector",
+    )
     parser.add_argument("--n-requests", type=int, default=100)
     parser.add_argument("--n-servers", type=int, default=1)
     parser.add_argument(
@@ -128,6 +157,10 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         zipf_alpha=args.zipf_alpha,
         store_capacity_chunks=tuple(args.store_capacities or ()),
         store_slow_capacity_factor=args.store_slow_factor,
+        arrival_pattern=args.arrival,
+        ttft_slo_s=args.ttft_slo,
+        admission_policies=tuple(args.admission_policies or ("none",)),
+        fault_rate=args.fault_rate,
         seed=args.seed,
     )
 

@@ -26,7 +26,7 @@ from dataclasses import asdict, dataclass, field, replace
 
 import numpy as np
 
-from repro.bench.workload import WorkloadGenerator
+from repro.bench.workload import ARRIVAL_PATTERNS, WorkloadGenerator
 from repro.kvstore.device import get_device
 from repro.model.config import get_config
 from repro.serving.costmodel import OnlineCostCalibration, ServingCostModel
@@ -49,6 +49,11 @@ QUALITY_SCORES: dict[str, float] = {
 }
 
 SCHEDULERS = ("fcfs", "continuous")
+
+#: Admission-policy axis values: ``none`` serves every arrival (the classic
+#: behaviour), ``slo`` turns on the continuous scheduler's SLO admission
+#: control *and* decode preemption so overload is shed instead of queued.
+ADMISSION_POLICIES = ("none", "slo")
 
 
 @dataclass(frozen=True)
@@ -88,9 +93,56 @@ class ExperimentConfig:
     store_capacity_chunks: tuple[int, ...] = ()
     #: Slow-tier capacity as a multiple of the RAM-tier capacity.
     store_slow_capacity_factor: float = 4.0
+    #: Arrival process of the synthesized workload (see
+    #: :data:`~repro.bench.workload.ARRIVAL_PATTERNS`): ``bursty`` and
+    #: ``diurnal`` concentrate the same average load into transient overload
+    #: windows — the regime the SLO admission axis is measured under.
+    arrival_pattern: str = "poisson"
+    #: TTFT deadline stamped on every generated request.  Required when the
+    #: admission axis includes ``"slo"``; without it admission control has
+    #: nothing to enforce and would silently admit everything.
+    ttft_slo_s: float | None = None
+    #: Admission-policy axis: every cell is scheduled once per policy and
+    #: carries an ``admission_policy`` column, so a single report compares
+    #: goodput with and without SLO admission + preemption.
+    admission_policies: tuple[str, ...] = ("none",)
+    #: Chunk-store fault axis: each cached chunk independently fails its KV
+    #: lookup with this probability (seeded binomial per request) and is
+    #: recomputed from scratch — the sweep-level analogue of the engine's
+    #: retry-then-recompute fallback.  Cells report the recomputed-chunk
+    #: count and the measured TTFT inflation against a clean twin run.
+    fault_rate: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:
+        if self.arrival_pattern not in ARRIVAL_PATTERNS:
+            raise ValueError(
+                f"unknown arrival_pattern {self.arrival_pattern!r}; "
+                f"expected one of {ARRIVAL_PATTERNS}"
+            )
+        if self.ttft_slo_s is not None and self.ttft_slo_s <= 0:
+            raise ValueError("ttft_slo_s must be positive when set")
+        if not self.admission_policies:
+            raise ValueError("admission_policies must be non-empty")
+        for policy in self.admission_policies:
+            if policy not in ADMISSION_POLICIES:
+                raise ValueError(
+                    f"unknown admission policy {policy!r}; "
+                    f"expected one of {ADMISSION_POLICIES}"
+                )
+        if "slo" in self.admission_policies:
+            if self.ttft_slo_s is None:
+                raise ValueError(
+                    "the 'slo' admission policy requires ttft_slo_s: without "
+                    "deadlines admission control admits everything"
+                )
+            if self.scheduler != "continuous":
+                raise ValueError(
+                    "the 'slo' admission policy requires the 'continuous' "
+                    "scheduler (FCFS has no admission or preemption)"
+                )
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError("fault_rate must be in [0, 1]")
         if any(capacity < 1 for capacity in self.store_capacity_chunks):
             raise ValueError("store_capacity_chunks entries must be >= 1")
         if self.store_slow_capacity_factor < 1.0:
@@ -158,6 +210,22 @@ class CellResult:
     store_hit_rate: float | None = None
     store_bytes_stored: int | None = None
     store_slow_tier_hit_share: float | None = None
+    #: Robustness columns.  ``admission_policy`` names the scheduling policy
+    #: this cell ran under; ``goodput`` is SLO-met requests per second of
+    #: served makespan (equal to throughput when no deadline is set);
+    #: ``slo_attainment`` counts rejected requests as misses, so shedding
+    #: load only pays off when the survivors actually meet their deadlines.
+    admission_policy: str = "none"
+    goodput: float = 0.0
+    slo_attainment: float = 1.0
+    rejection_rate: float = 0.0
+    preemption_count: int = 0
+    #: Fault axis columns: the injected per-chunk lookup failure rate, how
+    #: many cached chunks this cell recovered by recomputing, and the mean
+    #: TTFT of the faulted run over its clean twin (``None`` with faults off).
+    fault_rate: float = 0.0
+    fault_recovered_chunks: int = 0
+    fault_ttft_inflation: float | None = None
 
     def as_dict(self) -> dict[str, object]:
         return asdict(self)
@@ -182,7 +250,9 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
     def _build_scheduler(
-        self, calibration: OnlineCostCalibration | None = None
+        self,
+        calibration: OnlineCostCalibration | None = None,
+        admission_policy: str = "none",
     ) -> Scheduler:
         if self.config.scheduler == "fcfs":
             return FCFSScheduler(n_servers=self.config.n_servers)
@@ -194,6 +264,8 @@ class ExperimentRunner:
             max_batch_tokens=self.config.max_batch_tokens,
             prefill_chunk_tokens=self.config.prefill_chunk_tokens,
             overlap_loads=self.config.overlap_loads,
+            admission_control=admission_policy == "slo",
+            preemption=admission_policy == "slo",
             decode_calibration=(
                 calibration if self.config.measured_decode_pacing else None
             ),
@@ -205,6 +277,8 @@ class ExperimentRunner:
         generator = WorkloadGenerator(
             dataset=self.config.dataset,
             request_rate=self.config.request_rate,
+            arrival_pattern=self.config.arrival_pattern,
+            ttft_slo_s=self.config.ttft_slo_s,
             n_unique_chunks=self.config.n_unique_chunks,
             zipf_alpha=self.config.zipf_alpha,
             cache_chunk_capacity=self.config.cache_chunk_capacity,
@@ -212,6 +286,40 @@ class ExperimentRunner:
         )
         requests = generator.generate(self.config.n_requests)
         return requests, generator.stats.as_dict(), generator
+
+    def _inject_store_faults(
+        self, requests: list[GenerationRequest]
+    ) -> tuple[list[GenerationRequest], int]:
+        """Relabel fault-hit cached chunks as cold (recompute fallback).
+
+        Each cached chunk independently fails its store lookup with
+        probability ``fault_rate`` — the sweep-level model of the engine's
+        retry-exhausted recompute fallback: the request still completes
+        correctly, but the faulted chunks are priced as full prefill.
+        Prefix-cached fractions are clamped to the surviving cached fraction
+        (a faulted chunk breaks the reusable prefix at that point).
+        """
+        rng = np.random.default_rng((self.config.seed, 0xFA017))
+        faulted: list[GenerationRequest] = []
+        n_recovered = 0
+        for request in requests:
+            n_cached = int(round(request.cached_chunk_fraction * request.n_chunks))
+            n_faults = int(rng.binomial(n_cached, self.config.fault_rate))
+            if n_faults == 0:
+                faulted.append(request)
+                continue
+            n_recovered += n_faults
+            cached = (n_cached - n_faults) / request.n_chunks
+            faulted.append(
+                replace(
+                    request,
+                    cached_chunk_fraction=cached,
+                    prefix_cached_fraction=min(
+                        request.prefix_cached_fraction, cached
+                    ),
+                )
+            )
+        return faulted, n_recovered
 
     # ------------------------------------------------------------------
     def run_cell(
@@ -222,6 +330,8 @@ class ExperimentRunner:
         scheme: str,
         recompute_ratio: float,
         calibration: OnlineCostCalibration | None = None,
+        admission_policy: str = "none",
+        clean_requests: list[GenerationRequest] | None = None,
     ) -> CellResult:
         """Serve the shared workload in one sweep cell and aggregate it.
 
@@ -230,6 +340,15 @@ class ExperimentRunner:
         trace-calibrated ``mean_ttft_service_measured`` (first decode step
         included) beside the analytic estimate, and the continuous-batching
         scheduler paces decode iterations at the measured per-step rate.
+
+        Under ``admission_policy="slo"`` the continuous scheduler rejects
+        requests whose predicted TTFT misses their deadline and preempts
+        decode slots for at-risk prefills; rejected requests are excluded
+        from the service-quality aggregates but counted in
+        ``rejection_rate`` and ``slo_attainment``.  With *clean_requests*
+        (the fault axis's no-fault twin of the same stream) the cell also
+        reports ``fault_ttft_inflation`` — the measured TTFT cost of
+        recomputing fault-hit chunks.
         """
         cost_model = ServingCostModel(get_config(model), calibration=calibration)
         needs_device = scheme in ("full_reuse", "cacheblend")
@@ -244,10 +363,24 @@ class ExperimentRunner:
             fast_device=get_device("cpu_ram") if needs_device else None,
         )
         results = engine.serve_batch(requests)
-        timings = self._build_scheduler(calibration).schedule(requests, results)
-        return self._aggregate(
-            model, device, scheme, recompute_ratio, requests, results, timings
+        scheduler = self._build_scheduler(calibration, admission_policy)
+        timings = scheduler.schedule(requests, results)
+        cell = self._aggregate(
+            model, device, scheme, recompute_ratio, requests, results, timings,
+            admission_policy=admission_policy,
         )
+        if clean_requests is not None:
+            clean_results = engine.serve_batch(clean_requests)
+            clean_timings = self._build_scheduler(
+                calibration, admission_policy
+            ).schedule(clean_requests, clean_results)
+            clean_ttfts = [t.ttft for t in clean_timings if not t.rejected]
+            clean_mean = float(np.mean(clean_ttfts)) if clean_ttfts else 0.0
+            if clean_mean > 0.0 and cell.mean_ttft > 0.0:
+                cell = replace(
+                    cell, fault_ttft_inflation=cell.mean_ttft / clean_mean
+                )
+        return cell
 
     def _aggregate(
         self,
@@ -258,12 +391,58 @@ class ExperimentRunner:
         requests: list[GenerationRequest],
         results,
         timings: list[RequestTiming],
+        admission_policy: str = "none",
     ) -> CellResult:
-        summary = summarise_run(requests, results, timings, self.config.n_servers)
+        # Rejected requests never occupy a server, so the service-quality
+        # aggregates (TTFT percentiles, throughput, utilisation) cover the
+        # *served* stream only; the rejections show up in rejection_rate and
+        # as SLO misses in slo_attainment/goodput, where shedding is priced.
+        served = [
+            (request, result, timing)
+            for request, result, timing in zip(requests, results, timings)
+            if not timing.rejected
+        ]
+        n_rejected = len(requests) - len(served)
+        n_met_slo = sum(1 for timing in timings if timing.met_slo)
+        preemption_count = sum(timing.n_preemptions for timing in timings)
         quality = QUALITY_SCORES[scheme]
+        robustness = {
+            "admission_policy": admission_policy,
+            "slo_attainment": n_met_slo / len(requests),
+            "rejection_rate": n_rejected / len(requests),
+            "preemption_count": preemption_count,
+            "fault_rate": self.config.fault_rate,
+        }
+        if not served:
+            # The whole queue was shed: an honest all-zero service row beats
+            # a crash, and rejection_rate == 1.0 makes the cause visible.
+            return CellResult(
+                model=model,
+                device=device,
+                scheme=scheme,
+                recompute_ratio=recompute_ratio,
+                mean_ttft=0.0,
+                p50_ttft=0.0,
+                p90_ttft=0.0,
+                p99_ttft=0.0,
+                mean_queueing=0.0,
+                mean_ttft_service=0.0,
+                throughput=0.0,
+                gpu_utilisation=0.0,
+                mean_recomputed_fraction=0.0,
+                quality=quality,
+                quality_adjusted_ttft=0.0,
+                **robustness,
+            )
+        served_requests = [request for request, _, _ in served]
+        served_results = [result for _, result, _ in served]
+        served_timings = [timing for _, _, timing in served]
+        summary = summarise_run(
+            served_requests, served_results, served_timings, self.config.n_servers
+        )
         decode_rates = [
             (request.n_output_tokens - 1) / span
-            for request, timing in zip(requests, timings)
+            for request, timing in zip(served_requests, served_timings)
             if request.n_output_tokens > 1
             and (span := timing.completion_time - timing.first_token_time) > 0.0
         ]
@@ -277,11 +456,13 @@ class ExperimentRunner:
             p90_ttft=summary.p90_ttft,
             p99_ttft=summary.p99_ttft,
             mean_queueing=summary.mean_queueing,
-            mean_ttft_service=float(np.mean([r.ttft_service for r in results])),
+            mean_ttft_service=float(
+                np.mean([r.ttft_service for r in served_results])
+            ),
             throughput=summary.throughput,
             gpu_utilisation=summary.gpu_utilisation,
             mean_recomputed_fraction=float(
-                np.mean([r.recomputed_fraction for r in results])
+                np.mean([r.recomputed_fraction for r in served_results])
             ),
             quality=quality,
             quality_adjusted_ttft=summary.mean_ttft / quality,
@@ -289,6 +470,10 @@ class ExperimentRunner:
             mean_decode_tokens_per_s=(
                 float(np.mean(decode_rates)) if decode_rates else 0.0
             ),
+            goodput=(
+                n_met_slo / summary.makespan if summary.makespan > 0 else 0.0
+            ),
+            **robustness,
         )
 
     # ------------------------------------------------------------------
@@ -311,7 +496,11 @@ class ExperimentRunner:
         proxy: dict[str, object] | None = None
         if with_proxy or self.config.measured_decode_pacing:
             calibration = OnlineCostCalibration()
-            proxy = run_proxy_probe(seed=self.config.seed, calibration=calibration)
+            proxy = run_proxy_probe(
+                seed=self.config.seed,
+                calibration=calibration,
+                fault_rate=self.config.fault_rate,
+            )
 
         requests, workload_stats, generator = self._generate_workload()
 
@@ -342,6 +531,15 @@ class ExperimentRunner:
 
         cells: list[CellResult] = []
         for capacity, point_requests, simulation in store_points:
+            # Fault axis: relabel fault-hit cached chunks as cold (recompute
+            # fallback) and keep the clean stream as the TTFT-inflation twin.
+            clean_requests: list[GenerationRequest] | None = None
+            n_fault_recovered = 0
+            if self.config.fault_rate > 0.0:
+                clean_requests = point_requests
+                point_requests, n_fault_recovered = self._inject_store_faults(
+                    point_requests
+                )
             for model in self.config.models:
                 store_columns: dict[str, object] = {}
                 if simulation is not None:
@@ -354,20 +552,27 @@ class ExperimentRunner:
                     }
                 for device in self.config.devices:
                     for scheme in self.config.schemes:
-                        ratio_dependent = scheme == "cacheblend"
-                        base_cell: CellResult | None = None
-                        for ratio in self.config.recompute_ratios:
-                            if ratio_dependent or base_cell is None:
-                                base_cell = replace(
-                                    self.run_cell(
-                                        point_requests, model, device, scheme, ratio,
-                                        calibration=calibration,
-                                    ),
-                                    **store_columns,
-                                )
-                                cells.append(base_cell)
-                            else:
-                                cells.append(replace(base_cell, recompute_ratio=ratio))
+                        for policy in self.config.admission_policies:
+                            ratio_dependent = scheme == "cacheblend"
+                            base_cell: CellResult | None = None
+                            for ratio in self.config.recompute_ratios:
+                                if ratio_dependent or base_cell is None:
+                                    base_cell = replace(
+                                        self.run_cell(
+                                            point_requests, model, device,
+                                            scheme, ratio,
+                                            calibration=calibration,
+                                            admission_policy=policy,
+                                            clean_requests=clean_requests,
+                                        ),
+                                        fault_recovered_chunks=n_fault_recovered,
+                                        **store_columns,
+                                    )
+                                    cells.append(base_cell)
+                                else:
+                                    cells.append(
+                                        replace(base_cell, recompute_ratio=ratio)
+                                    )
         return ExperimentReport(
             config=self.config,
             workload=workload_stats,
@@ -384,16 +589,25 @@ def build_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
     faster but degrades generation quality, so its TTFT is inflated by the
     quality deficit before the comparison (see module docstring).
     """
-    by_key: dict[tuple[str, str, float, int], dict[str, CellResult]] = {}
+    by_key: dict[tuple[str, str, float, int, str], dict[str, CellResult]] = {}
     for cell in cells:
         capacity_key = (
             cell.store_capacity_chunks if cell.store_capacity_chunks is not None else -1
         )
         by_key.setdefault(
-            (cell.model, cell.device, cell.recompute_ratio, capacity_key), {}
+            (
+                cell.model,
+                cell.device,
+                cell.recompute_ratio,
+                capacity_key,
+                cell.admission_policy,
+            ),
+            {},
         )[cell.scheme] = cell
     comparisons: list[dict[str, object]] = []
-    for (model, device, ratio, capacity_key), schemes in sorted(by_key.items()):
+    for (model, device, ratio, capacity_key, policy), schemes in sorted(
+        by_key.items()
+    ):
         blend = schemes.get("cacheblend")
         if blend is None:
             continue
@@ -403,6 +617,8 @@ def build_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
             "recompute_ratio": ratio,
             "cacheblend_mean_ttft": blend.mean_ttft,
         }
+        if policy != "none":
+            row["admission_policy"] = policy
         if capacity_key >= 0:
             row["store_capacity_chunks"] = capacity_key
             row["store_hit_rate"] = blend.store_hit_rate
@@ -423,11 +639,60 @@ def build_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
         if prefix is not None:
             row["prefix_caching_mean_ttft"] = prefix.mean_ttft
         comparisons.append(row)
+    comparisons.extend(build_admission_comparisons(cells))
     return comparisons
 
 
+def build_admission_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
+    """Per (model, device, scheme, ratio): SLO admission vs no admission.
+
+    Pairs each ``admission_policy == "slo"`` cell with its ``"none"`` twin
+    from the same sweep point and reports the goodput gain — the headline
+    number of the overload experiments: shedding doomed requests (and
+    preempting decode slots for at-risk prefills) must *increase* the rate
+    of requests that meet their deadline.
+    """
+    by_point: dict[tuple, dict[str, CellResult]] = {}
+    for cell in cells:
+        key = (
+            cell.model,
+            cell.device,
+            cell.scheme,
+            cell.recompute_ratio,
+            cell.store_capacity_chunks,
+        )
+        by_point.setdefault(key, {})[cell.admission_policy] = cell
+    rows: list[dict[str, object]] = []
+    for (model, device, scheme, ratio, _capacity), policies in by_point.items():
+        plain, slo = policies.get("none"), policies.get("slo")
+        if plain is None or slo is None:
+            continue
+        rows.append(
+            {
+                "comparison": "admission_vs_none",
+                "model": model,
+                "device": device,
+                "scheme": scheme,
+                "recompute_ratio": ratio,
+                "goodput_none": plain.goodput,
+                "goodput_slo": slo.goodput,
+                "goodput_gain": (
+                    slo.goodput / plain.goodput if plain.goodput > 0 else float("inf")
+                ),
+                "slo_attainment_none": plain.slo_attainment,
+                "slo_attainment_slo": slo.slo_attainment,
+                "rejection_rate": slo.rejection_rate,
+                "preemption_count": slo.preemption_count,
+                "admission_improves_goodput": slo.goodput > plain.goodput,
+            }
+        )
+    return rows
+
+
 def run_proxy_probe(
-    seed: int = 0, calibration: OnlineCostCalibration | None = None
+    seed: int = 0,
+    calibration: OnlineCostCalibration | None = None,
+    fault_rate: float = 0.0,
 ) -> dict[str, object]:
     """End-to-end run of the real fusion pipeline (NumPy proxy model).
 
@@ -448,16 +713,23 @@ def run_proxy_probe(
     from repro.core.blend_engine import BlendEngine
     from repro.core.executor import PipelinedExecutor
     from repro.kvstore.config import StoreConfig
+    from repro.kvstore.faults import FaultConfig
 
     # The probe exercises the serving-path store stack end to end: a
     # RAM→SSD hierarchy of radix-trie (prefix-dedup) tiers behind the
-    # engine, not the plain whole-chunk default.
+    # engine, not the plain whole-chunk default.  A non-zero *fault_rate*
+    # additionally wraps the store in a fault injector (the chaos smoke):
+    # lookups fail/corrupt/stall at that rate and the engine must retry or
+    # recompute — with bitwise-identical generations either way.
     engine = BlendEngine.build(
         paper_model="Mistral-7B",
         device="cpu_ram",
         seed=seed,
         calibration=calibration,
         store=StoreConfig(backend="tiered_trie"),
+        faults=(
+            FaultConfig(rate=fault_rate, seed=seed) if fault_rate > 0.0 else None
+        ),
     )
     chunks = [
         "retrieval augmented generation feeds reused text chunks to the model",
@@ -506,6 +778,7 @@ def run_proxy_probe(
     return {
         "paper_model": "Mistral-7B",
         "execution": "pipelined",
+        "fault_rate": fault_rate,
         "n_requests": len(results),
         "mean_recompute_fraction": float(
             np.mean([r.fusion.mean_recompute_fraction for r in results])

@@ -47,8 +47,12 @@ from repro.model.transformer import TransformerModel
 #: ``decode_session`` (persistent padded batch buffers, no per-step re-gather)
 #: and the ``decode.width_scaling`` batch-width block; v4 adds ``store_lookup``
 #: (tiered radix-trie lookup: prefix walk + segment reassembly + tier read)
-#: and the top-level ``store`` dedup block.
-PROFILE_SCHEMA_VERSION = 4
+#: and the top-level ``store`` dedup block; v5 adds ``preempt_resume`` (one
+#: scheduler pause/resume round-trip on a live decode session: extract the
+#: victim's decode state, free its slot, re-join it and take one lock-step
+#: step — the per-preemption overhead of the SLO scheduler's decode
+#: preemption).
+PROFILE_SCHEMA_VERSION = 5
 
 _REQUIRED_OPS = (
     "chunk_prefill",
@@ -58,6 +62,7 @@ _REQUIRED_OPS = (
     "decode_sequential",
     "decode_batched",
     "decode_session",
+    "preempt_resume",
     "store_lookup",
     "serialize_kv",
     "deserialize_kv",
@@ -318,10 +323,27 @@ def measure_decode_ops(
         for i in range(len(prefills)):
             session.leave(i)
 
+    # One preemption round-trip on a live session: pause member 0 (extract
+    # its decode state, free the slot), re-admit it and take one lock-step
+    # step — what the SLO scheduler pays per decode preemption.  The session
+    # persists across samples (its members genuinely mid-generation); the
+    # reserve covers one appended row per warmup+timed cycle.
+    preempt_session = model.new_decode_session(
+        slot_capacity=config.decode_batch_size
+    )
+    for i, cache in enumerate(prefills):
+        preempt_session.join(i, cache, reserve=2 * (config.repeats + config.warmup))
+
+    def run_preempt_resume() -> None:
+        paused = preempt_session.preempt(0)
+        preempt_session.join(0, paused, reserve=config.repeats + config.warmup)
+        model.decode_session_step(preempt_session, tokens[:, 0])
+
     ops = {
         "decode_sequential": _time_op(run_sequential, config.repeats, config.warmup),
         "decode_batched": _time_op(run_batched, config.repeats, config.warmup),
         "decode_session": _time_op(run_session, config.repeats, config.warmup),
+        "preempt_resume": _time_op(run_preempt_resume, config.repeats, config.warmup),
     }
     sequential = float(ops["decode_sequential"]["min_s"])
     batched = float(ops["decode_batched"]["min_s"])
@@ -337,6 +359,7 @@ def measure_decode_ops(
             sequential / session if session > 0 else float("inf")
         ),
         "session_vs_batched": batched / session if session > 0 else float("inf"),
+        "preempt_resume_s": float(ops["preempt_resume"]["min_s"]),
     }
     return ops, block
 
@@ -670,11 +693,14 @@ def validate_profile_report(document: dict[str, object]) -> None:
         "session_total_s",
         "session_speedup_vs_sequential",
         "session_vs_batched",
+        "preempt_resume_s",
         "scaling",
         "width_scaling",
     ):
         if key not in decode:
             raise ValueError(f"decode block is missing key {key!r}")
+    if decode["preempt_resume_s"] < 0:
+        raise ValueError("preempt_resume_s must be non-negative")
     if decode["batched_speedup"] <= 0:
         raise ValueError("batched_speedup must be positive")
     if decode["session_speedup_vs_sequential"] <= 0:
@@ -733,6 +759,7 @@ def check_against_baseline(
         "serve_pipelined",
         "decode_batched",
         "decode_session",
+        "preempt_resume",
         "store_lookup",
     ),
 ) -> list[str]:
@@ -745,8 +772,10 @@ def check_against_baseline(
     the fuse wall-clocks, the measured end-to-end serving TTFT
     (``serve_pipelined``), the batched decode wall-clock (``decode_batched``),
     the session decode wall-clock (``decode_session``, the serving loop's
-    steady-state path) *and* the tiered trie lookup (``store_lookup``, the
-    gather path's store work); ops absent from an older baseline are skipped.
+    steady-state path), the preemption round-trip (``preempt_resume``, the
+    SLO scheduler's per-preemption overhead) *and* the tiered trie lookup
+    (``store_lookup``, the gather path's store work); ops absent from an
+    older baseline are skipped.
     """
     failures: list[str] = []
     base_ops = baseline.get("ops", {})
@@ -799,7 +828,8 @@ def format_profile_summary(document: dict[str, object]) -> str:
         f"decode session (persistent pad, same workload): "
         f"{decode['session_total_s'] * 1e3:.1f} ms "
         f"({decode['session_speedup_vs_sequential']:.2f}x vs sequential, "
-        f"{decode['session_vs_batched']:.2f}x vs per-call batched)"
+        f"{decode['session_vs_batched']:.2f}x vs per-call batched); "
+        f"preempt/resume round-trip {decode['preempt_resume_s'] * 1e3:.2f} ms"
     )
     store = document["store"]
     lines.append(

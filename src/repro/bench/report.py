@@ -5,7 +5,7 @@ One report is a single JSON document with a versioned schema:
 .. code-block:: text
 
     {
-      "schema_version": 2,
+      "schema_version": 4,
       "created": "<ISO-8601 UTC timestamp>",
       "tag": "<free-form label, e.g. 'smoke'>",
       "config": { ...ExperimentConfig fields... },
@@ -31,8 +31,12 @@ from repro.bench.experiment import ExperimentReport
 #: v2 added the per-cell ``mean_decode_tokens_per_s`` decode-throughput
 #: column; v3 adds the store-capacity axis columns (``store_capacity_chunks``,
 #: ``store_hit_rate``, ``store_bytes_stored``, ``store_slow_tier_hit_share``
-#: — null when the sweep runs without the axis).
-SCHEMA_VERSION = 3
+#: — null when the sweep runs without the axis); v4 adds the robustness
+#: columns: ``admission_policy``, ``goodput``, ``slo_attainment``,
+#: ``rejection_rate``, ``preemption_count`` and the fault axis
+#: (``fault_rate``, ``fault_recovered_chunks``, ``fault_ttft_inflation`` —
+#: the inflation is null when faults are off).
+SCHEMA_VERSION = 4
 
 _REQUIRED_TOP_LEVEL = ("schema_version", "created", "tag", "config", "workload", "cells")
 _REQUIRED_CELL_FIELDS = (
@@ -53,6 +57,14 @@ _REQUIRED_CELL_FIELDS = (
     "store_hit_rate",
     "store_bytes_stored",
     "store_slow_tier_hit_share",
+    "admission_policy",
+    "goodput",
+    "slo_attainment",
+    "rejection_rate",
+    "preemption_count",
+    "fault_rate",
+    "fault_recovered_chunks",
+    "fault_ttft_inflation",
 )
 
 
@@ -96,6 +108,18 @@ def validate_report(document: dict[str, object]) -> None:
         hit_rate = cell["store_hit_rate"]
         if hit_rate is not None and not 0.0 <= hit_rate <= 1.0:
             raise ValueError(f"cell {i} has an out-of-range store hit rate")
+        for fraction_key in ("slo_attainment", "rejection_rate"):
+            if not 0.0 <= cell[fraction_key] <= 1.0:
+                raise ValueError(f"cell {i} has an out-of-range {fraction_key}")
+        if cell["goodput"] < 0.0:
+            raise ValueError(f"cell {i} has a negative goodput")
+        if cell["preemption_count"] < 0:
+            raise ValueError(f"cell {i} has a negative preemption count")
+        if not 0.0 <= cell["fault_rate"] <= 1.0:
+            raise ValueError(f"cell {i} has an out-of-range fault rate")
+        inflation = cell["fault_ttft_inflation"]
+        if inflation is not None and inflation <= 0.0:
+            raise ValueError(f"cell {i} has a non-positive fault TTFT inflation")
     comparisons = document.get("comparisons", [])
     if not isinstance(comparisons, list):
         raise ValueError("'comparisons' must be a list")
@@ -129,13 +153,27 @@ def format_summary(document: dict[str, object]) -> str:
         f"{'model':<12} {'device':<10} {'blend ttft':>11} {'recomp ttft':>12} "
         f"{'reuse qa-ttft':>14} {'speedup':>8}",
     ]
+    admission_rows = []
     for row in document.get("comparisons", []):
+        if row.get("comparison") == "admission_vs_none":
+            admission_rows.append(row)
+            continue
         lines.append(
             f"{row['model']:<12} {row['device']:<10} "
             f"{row['cacheblend_mean_ttft']:>11.3f} "
             f"{row.get('full_recompute_mean_ttft', float('nan')):>12.3f} "
             f"{row.get('full_reuse_quality_adjusted_ttft', float('nan')):>14.3f} "
             f"{row.get('speedup_vs_full_recompute', float('nan')):>7.2f}x"
+        )
+    for row in admission_rows:
+        if row["scheme"] != "cacheblend":
+            continue
+        lines.append(
+            f"admission ({row['model']}/{row['device']}): goodput "
+            f"{row['goodput_none']:.3f} -> {row['goodput_slo']:.3f} req/s "
+            f"({row['goodput_gain']:.2f}x), rejected "
+            f"{row['rejection_rate'] * 100:.0f}%, "
+            f"{row['preemption_count']} preemptions"
         )
     proxy = document.get("proxy")
     if proxy and proxy.get("measured_ttfts"):

@@ -6,7 +6,10 @@ differ in how many chunks they retrieve, how long the chunks are and how long
 the user suffix/answer are.  :class:`WorkloadGenerator` reproduces that shape
 synthetically:
 
-* arrivals follow a Poisson process at a configurable request rate;
+* arrivals follow a Poisson process at a configurable request rate — or one
+  of two overload-inducing presets: ``bursty`` (on/off bursts several times
+  the nominal rate followed by idle gaps) and ``diurnal`` (a sinusoidally
+  modulated rate), both preserving the long-run average rate;
 * per-request chunk count, chunk length, suffix length and output length are
   sampled from per-dataset distributions (:class:`DatasetSpec` presets);
 * chunk *identity* is sampled from a Zipf popularity law over a corpus of
@@ -85,6 +88,25 @@ DATASET_PRESETS: dict[str, DatasetSpec] = {
 }
 
 
+#: Supported arrival-process presets.  ``poisson`` is the plain open-loop
+#: process; ``bursty`` alternates short bursts at ``BURST_FACTOR`` times the
+#: nominal rate with idle gaps sized to keep the long-run average; ``diurnal``
+#: modulates the instantaneous rate sinusoidally over the stream.  The two
+#: non-Poisson presets create transient overload windows (arrival rate above
+#: service capacity) without changing the mean load, which is exactly the
+#: regime SLO admission control and decode preemption are measured under.
+ARRIVAL_PATTERNS = ("poisson", "bursty", "diurnal")
+
+#: Bursty preset shape: requests per burst and the in-burst rate multiplier.
+BURST_LENGTH = 8
+BURST_FACTOR = 4.0
+
+#: Diurnal preset shape: rate swing amplitude (±80 % of nominal) and cycles
+#: over the generated stream.
+DIURNAL_AMPLITUDE = 0.8
+DIURNAL_CYCLES = 2.0
+
+
 def get_dataset(name: str) -> DatasetSpec:
     """Return a dataset preset by name with a helpful error on typos."""
     try:
@@ -127,7 +149,15 @@ class WorkloadGenerator:
     dataset:
         A :class:`DatasetSpec` or the name of a preset.
     request_rate:
-        Poisson arrival rate in requests per second.
+        Long-run average arrival rate in requests per second.
+    arrival_pattern:
+        One of :data:`ARRIVAL_PATTERNS`.  ``poisson`` (default) keeps the
+        plain open-loop process; ``bursty`` and ``diurnal`` concentrate the
+        same average load into transient overload windows.
+    ttft_slo_s:
+        When set, every generated request carries this TTFT deadline
+        (:attr:`~repro.serving.request.GenerationRequest.deadline_s`), so
+        SLO admission control and goodput accounting apply downstream.
     n_unique_chunks:
         Size of the chunk corpus requests draw from.
     zipf_alpha:
@@ -143,6 +173,8 @@ class WorkloadGenerator:
 
     dataset: DatasetSpec | str = "2wikimqa"
     request_rate: float = 1.0
+    arrival_pattern: str = "poisson"
+    ttft_slo_s: float | None = None
     n_unique_chunks: int = 400
     zipf_alpha: float = 1.0
     cache_chunk_capacity: int = 160
@@ -153,6 +185,13 @@ class WorkloadGenerator:
             self.dataset = get_dataset(self.dataset)
         if self.request_rate <= 0:
             raise ValueError("request_rate must be positive")
+        if self.arrival_pattern not in ARRIVAL_PATTERNS:
+            raise ValueError(
+                f"unknown arrival_pattern {self.arrival_pattern!r}; "
+                f"expected one of {ARRIVAL_PATTERNS}"
+            )
+        if self.ttft_slo_s is not None and self.ttft_slo_s <= 0:
+            raise ValueError("ttft_slo_s must be positive when set")
         if self.n_unique_chunks < 1:
             raise ValueError("n_unique_chunks must be >= 1")
         if self.zipf_alpha < 0:
@@ -173,6 +212,44 @@ class WorkloadGenerator:
     def _clipped_int(rng: np.random.Generator, mean: float, std: float, low: int) -> int:
         return max(low, int(round(rng.normal(mean, std))))
 
+    def _arrivals(self, rng: np.random.Generator, n_requests: int) -> np.ndarray:
+        """Sample arrival times under the configured arrival pattern.
+
+        All three presets share the same long-run average rate; the bursty
+        and diurnal ones redistribute the arrivals in time so the stream
+        alternates between overload (arrivals faster than service) and slack.
+        """
+        if self.arrival_pattern == "poisson":
+            gaps = rng.exponential(1.0 / self.request_rate, size=n_requests)
+        elif self.arrival_pattern == "bursty":
+            # On/off process: bursts of BURST_LENGTH requests arrive at
+            # BURST_FACTOR× the nominal rate; each burst boundary inserts an
+            # idle gap whose mean restores the long-run average, so the
+            # in-burst windows are genuine transient overload.
+            gaps = rng.exponential(
+                1.0 / (BURST_FACTOR * self.request_rate), size=n_requests
+            )
+            positions = np.arange(n_requests)
+            boundary = (positions > 0) & (positions % BURST_LENGTH == 0)
+            mean_idle = BURST_LENGTH * (1.0 - 1.0 / BURST_FACTOR) / self.request_rate
+            gaps = gaps + np.where(
+                boundary, rng.exponential(mean_idle, size=n_requests), 0.0
+            )
+        else:  # diurnal
+            # Inhomogeneous Poisson process: each gap is drawn at the
+            # instantaneous rate of a sinusoid over the nominal stream span
+            # (DIURNAL_CYCLES full cycles), floored away from zero.
+            span = n_requests / self.request_rate
+            gaps = np.empty(n_requests)
+            now = 0.0
+            for i in range(n_requests):
+                phase = 2.0 * np.pi * DIURNAL_CYCLES * now / span
+                rate = self.request_rate * (1.0 + DIURNAL_AMPLITUDE * np.sin(phase))
+                rate = max(rate, 0.05 * self.request_rate)
+                gaps[i] = rng.exponential(1.0 / rate)
+                now += gaps[i]
+        return np.cumsum(gaps)
+
     # ------------------------------------------------------------------
     def generate(self, n_requests: int) -> list[GenerationRequest]:
         """Sample *n_requests* requests; updates :attr:`stats` as a side effect."""
@@ -185,7 +262,7 @@ class WorkloadGenerator:
                 f"dataset's max_chunks ({spec.max_chunks})"
             )
         rng = np.random.default_rng(self.seed)
-        arrivals = np.cumsum(rng.exponential(1.0 / self.request_rate, size=n_requests))
+        arrivals = self._arrivals(rng, n_requests)
         popularity = self._popularity()
         tracker = ChunkUsageTracker(
             capacity_entries=self.cache_chunk_capacity, stats=CacheStats()
@@ -232,6 +309,7 @@ class WorkloadGenerator:
                     arrival_time=float(arrivals[i]),
                     cached_chunk_fraction=cached_fraction,
                     prefix_cached_fraction=prefix_fraction,
+                    deadline_s=self.ttft_slo_s,
                 )
             )
 

@@ -51,8 +51,14 @@ from repro.core.fusor import FusionResult, FusorConfig, KVFusor
 from repro.core.pipeline import PipelineTrace
 from repro.kvstore.config import StoreConfig
 from repro.kvstore.device import StorageDevice, get_device
-from repro.kvstore.protocol import ChunkStore
-from repro.kvstore.serialization import quantize_kv_to_store_dtype
+from repro.kvstore.faults import (
+    FaultConfig,
+    FaultyStore,
+    StoreFault,
+    StoreReadTimeout,
+)
+from repro.kvstore.protocol import ChunkStore, StoreLookup
+from repro.kvstore.serialization import KVCorruptionError, quantize_kv_to_store_dtype
 from repro.kvstore.store import chunk_key
 from repro.model.config import PAPER_MODEL_PAIRS, ModelConfig, get_config
 from repro.model.transformer import TransformerModel
@@ -61,6 +67,45 @@ from repro.tokenizer.tokenizer import Tokenizer
 
 #: Supported request execution modes.
 EXECUTION_MODES = ("analytic", "pipelined")
+
+#: Per-request fault-recovery counters, all initialised to zero.
+_FAULT_STAT_KEYS = (
+    "fault_retries",
+    "fault_timeouts",
+    "fault_transients",
+    "fault_corruptions",
+    "fault_fallbacks",
+    "fallback_recompute_tokens",
+)
+
+
+@dataclass(frozen=True)
+class LookupRetryPolicy:
+    """How :meth:`BlendEngine._gather_request` survives store read faults.
+
+    Each chunk lookup gets ``max_retries`` retries after a typed store
+    fault (:class:`~repro.kvstore.faults.StoreFault` subclasses or a
+    :class:`~repro.kvstore.serialization.KVCorruptionError`), with
+    exponential simulated backoff (``backoff_s * 2**attempt`` seconds,
+    priced into the request's store read delay rather than slept).  A hit
+    whose simulated ``read_delay`` exceeds ``timeout_s`` is cut off and
+    treated as a timed-out read — the caller waited ``timeout_s`` for
+    nothing.  When every attempt fails, the engine degrades gracefully:
+    the chunk is recomputed from scratch (correct output, higher TTFT) and
+    re-``put`` to repair the store.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.005
+    timeout_s: float | None = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_s < 0.0:
+            raise ValueError("backoff_s must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0.0:
+            raise ValueError("timeout_s must be positive (or None to disable)")
 
 
 @dataclass
@@ -195,6 +240,7 @@ class BlendEngine:
         execution: str = "analytic",
         executor: PipelinedExecutor | None = None,
         kv_dtype: str = "float16",
+        retry_policy: LookupRetryPolicy | None = None,
     ) -> None:
         if execution not in EXECUTION_MODES:
             raise ValueError(
@@ -219,6 +265,11 @@ class BlendEngine:
             model, self.fusor.config, device=kv_store.device
         )
         self._encodings = _EncodingCache(capacity=encoding_cache_size)
+        #: Retry/timeout/fallback behaviour of store lookups under faults.
+        self.retry_policy = retry_policy or LookupRetryPolicy()
+        #: Engine-global fault-recovery counters, aggregated across requests
+        #: (the per-request counts live in each result's ``cache_stats``).
+        self._fault_totals: dict[str, int] = {key: 0 for key in _FAULT_STAT_KEYS}
 
     # ------------------------------------------------------------------
     # Tokenization (memoized)
@@ -261,6 +312,8 @@ class BlendEngine:
         execution: str = "analytic",
         calibration: OnlineCostCalibration | None = None,
         store: StoreConfig | ChunkStore | None = None,
+        faults: FaultConfig | None = None,
+        retry_policy: LookupRetryPolicy | None = None,
     ) -> "BlendEngine":
         """Build an engine for one of the paper's evaluated models.
 
@@ -277,6 +330,12 @@ class BlendEngine:
         The default is a whole-chunk store on ``device``.
         ``store_capacity_bytes`` is deprecated — pass
         ``store=StoreConfig(capacity_bytes=...)`` instead.
+
+        ``faults`` (a :class:`~repro.kvstore.faults.FaultConfig` with
+        ``rate > 0``) wraps the built store in a
+        :class:`~repro.kvstore.faults.FaultyStore` for chaos testing;
+        ``retry_policy`` tunes how the gather path retries and degrades
+        when those (or real) store faults surface.
         """
         if paper_model not in PAPER_MODEL_PAIRS:
             known = ", ".join(sorted(PAPER_MODEL_PAIRS))
@@ -324,6 +383,8 @@ class BlendEngine:
             )
         else:
             kv_store = store
+        if faults is not None and faults.rate > 0.0:
+            kv_store = FaultyStore(kv_store, faults)
         cost_model = ServingCostModel(
             timing_config,
             GPUSpec(),
@@ -340,6 +401,7 @@ class BlendEngine:
             timing_model=timing_config,
             execution=execution,
             kv_dtype=kv_dtype,
+            retry_policy=retry_policy,
         )
 
     # ------------------------------------------------------------------
@@ -379,12 +441,62 @@ class BlendEngine:
             )
         return mode
 
+    def _lookup_with_retry(
+        self, key: str, stats: dict[str, int]
+    ) -> tuple[StoreLookup, float, bool]:
+        """One chunk lookup under the engine's :class:`LookupRetryPolicy`.
+
+        Returns ``(found, fault_delay_s, fallback)``: the final lookup
+        result, the simulated seconds lost to faulted attempts (timeouts
+        waited out plus exponential backoff between retries), and whether
+        every attempt failed — in which case the caller must recompute the
+        chunk from scratch.  A clean miss is not a fault and returns
+        immediately; faults are only counted on attempts that raised (or a
+        hit cut off by the per-lookup timeout).
+        """
+        policy = self.retry_policy
+        fault_delay_s = 0.0
+        for attempt in range(policy.max_retries + 1):
+            if attempt > 0:
+                stats["fault_retries"] += 1
+                fault_delay_s += policy.backoff_s * 2 ** (attempt - 1)
+            try:
+                found = self.kv_store.lookup(key)
+            except StoreReadTimeout:
+                stats["fault_timeouts"] += 1
+                if policy.timeout_s is not None:
+                    fault_delay_s += policy.timeout_s
+                continue
+            except StoreFault:
+                stats["fault_transients"] += 1
+                continue
+            except KVCorruptionError:
+                stats["fault_corruptions"] += 1
+                continue
+            if (
+                found.hit
+                and policy.timeout_s is not None
+                and found.read_delay > policy.timeout_s
+            ):
+                # The read would outlive the lookup deadline: the caller
+                # waited ``timeout_s`` for nothing, then retried.
+                stats["fault_timeouts"] += 1
+                fault_delay_s += policy.timeout_s
+                continue
+            return found, fault_delay_s, False
+        return StoreLookup(cache=None), fault_delay_s, True
+
     def _gather_request(self, chunk_texts: list[str], question: str) -> _RequestInputs:
         """Resolve one request's chunk caches, counting its stats locally.
 
         Chunks missing from the KV store are prefilled on the fly (the
         measured wall-clock is recorded in ``miss_prefill_s``) and inserted
         for future requests, exactly like a cold chunk in the real system.
+        Store lookups that keep faulting (timeouts, transient losses,
+        corrupted payloads) degrade the same way: after
+        :class:`LookupRetryPolicy` is exhausted the chunk is recomputed from
+        scratch — correct output, higher TTFT — and re-``put`` to repair the
+        store; every such fallback is counted in the request's stats.
         """
         if not chunk_texts:
             raise ValueError("run() needs at least one context chunk")
@@ -399,6 +511,7 @@ class BlendEngine:
             "slow_tier_hits": 0,
             "tokenizer_hits": 0,
             "tokenizer_misses": 0,
+            **{key: 0 for key in _FAULT_STAT_KEYS},
         }
         context_tokens = 0
         miss_prefill_s = 0.0
@@ -409,10 +522,19 @@ class BlendEngine:
             stats["tokenizer_hits" if encoded_hit else "tokenizer_misses"] += 1
             context_tokens += int(token_ids.size)
             key = self.chunk_cache_key(token_ids)
-            found = self.kv_store.lookup(key)
+            found, fault_delay_s, fallback = self._lookup_with_retry(key, stats)
+            store_read_delay_s += fault_delay_s
             cached = found.cache
             if cached is None:
-                stats["misses"] += 1
+                if fallback:
+                    # Graceful degradation: the store kept faulting, so the
+                    # chunk is recomputed (priced like a miss via
+                    # ``miss_tokens``) and re-put to repair the store — but
+                    # it is *not* a cache miss: the entry was there.
+                    stats["fault_fallbacks"] += 1
+                    stats["fallback_recompute_tokens"] += int(token_ids.size)
+                else:
+                    stats["misses"] += 1
                 stats["miss_tokens"] += int(token_ids.size)
                 start = time.perf_counter()
                 cached = quantize_kv_to_store_dtype(
@@ -433,6 +555,8 @@ class BlendEngine:
                 if found.tier_index is not None and found.tier_index > 0:
                     stats["slow_tier_hits"] += 1
             chunk_caches.append(cached)
+        for fault_key in _FAULT_STAT_KEYS:
+            self._fault_totals[fault_key] += stats[fault_key]
 
         suffix_ids, suffix_hit = self._encode(question)
         stats["tokenizer_hits" if suffix_hit else "tokenizer_misses"] += 1
@@ -734,18 +858,32 @@ class BlendEngine:
 
     @property
     def cache_stats(self) -> dict[str, float]:
-        """JSON-friendly snapshot of the KV store's and tokenizer's counters."""
+        """JSON-friendly snapshot of the KV store's and tokenizer's counters.
+
+        Includes the engine's fault-recovery counters (retries, timeouts,
+        recompute fallbacks) aggregated across requests, and — when the
+        store is a :class:`~repro.kvstore.faults.FaultyStore` — the
+        injector's own per-kind counts.
+        """
         stats = self.kv_store.stats.as_dict()
         # A tiered store keeps bytes in its tiers, not the top-level counter.
         stats["bytes_stored"] = self.kv_store.bytes_stored
         stats["tokenizer_hits"] = self._encodings.hits
         stats["tokenizer_misses"] = self._encodings.misses
+        stats.update(self._fault_totals)
+        fault_stats = getattr(self.kv_store, "fault_stats", None)
+        if fault_stats is not None:
+            stats.update(fault_stats.as_dict())
         return stats
 
     def reset_cache_stats(self) -> None:
         """Zero the KV store and tokenizer counters (e.g. between cells)."""
         self.kv_store.reset_stats()
         self._encodings.reset_stats()
+        self._fault_totals = {key: 0 for key in _FAULT_STAT_KEYS}
+        reset_faults = getattr(self.kv_store, "reset_fault_stats", None)
+        if reset_faults is not None:
+            reset_faults()
 
     # ------------------------------------------------------------------
     def _estimate_ttft(

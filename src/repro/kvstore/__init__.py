@@ -9,9 +9,24 @@ token prefixes, and a multi-tier store (RAM + SSD) with promotion/demotion.
 
 from repro.kvstore.config import KV_DTYPE_BYTES, STORE_BACKENDS, StoreConfig
 from repro.kvstore.device import DEVICE_PRESETS, StorageDevice, get_device
+from repro.kvstore.faults import (
+    ALL_FAULT_KINDS,
+    FaultConfig,
+    FaultKind,
+    FaultStats,
+    FaultyStore,
+    StoreFault,
+    StoreReadTimeout,
+    StoreUnavailable,
+)
 from repro.kvstore.hierarchy import TieredChunkTracker, TieredKVStore, TierLookup
 from repro.kvstore.protocol import ChunkStore, StoreLookup
-from repro.kvstore.serialization import deserialize_kv, kv_nbytes, serialize_kv
+from repro.kvstore.serialization import (
+    KVCorruptionError,
+    deserialize_kv,
+    kv_nbytes,
+    serialize_kv,
+)
 from repro.kvstore.store import (
     CHUNK_KEY_VERSION,
     CacheStats,
@@ -29,6 +44,15 @@ __all__ = [
     "serialize_kv",
     "deserialize_kv",
     "kv_nbytes",
+    "KVCorruptionError",
+    "FaultyStore",
+    "FaultConfig",
+    "FaultKind",
+    "ALL_FAULT_KINDS",
+    "FaultStats",
+    "StoreFault",
+    "StoreReadTimeout",
+    "StoreUnavailable",
     "ChunkStore",
     "StoreLookup",
     "KVCacheStore",

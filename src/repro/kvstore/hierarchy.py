@@ -134,6 +134,21 @@ class TieredKVStore:
             fastest.put(key, cache)
 
     # ------------------------------------------------------------------
+    # Delay accounting
+    # ------------------------------------------------------------------
+    def read_delay(self, key: str) -> float:
+        """Simulated read delay of the fastest tier currently holding *key*.
+
+        0.0 when no tier holds it — a demoted-then-evicted key prices like
+        the clean miss :meth:`lookup` reports, never a ``KeyError``.  Does
+        not touch hit/miss statistics, recency or promotion.
+        """
+        for tier in self.tiers:
+            if tier.contains(key):
+                return tier.read_delay(key)
+        return 0.0
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property

@@ -5,15 +5,22 @@ blobs.  ``kv_nbytes`` is the size accounting the storage devices and the
 loading-delay estimator use; ``serialize_kv``/``deserialize_kv`` produce real
 byte buffers so the store can optionally persist caches to files on disk.
 
-Three wire formats exist:
+Four wire formats exist:
 
-* ``RPKV3`` (current, written by ``serialize_kv(..., kv_dtype="int8")``):
-  the JSON header followed by token ids, positions, then per layer a
-  ``float32`` (k_scale, v_scale) pair and the int8-quantised K/V bytes.
-  The symmetric per-tensor scale (``max|x| / 127``) executes the 1-byte KV
-  round-trip the cost model's ``dtype_bytes=1`` presets already price.
-* ``RPKV2`` (fp16 default of :func:`serialize_kv`): a JSON shape/dtype
-  header followed by the raw C-order array bytes of the token ids, positions
+* ``RPKV4`` (current, written by :func:`serialize_kv` for both payload
+  dtypes): the RPKV2/RPKV3 layout with the payload dtype recorded in the
+  header plus a blake2b digest of the payload bytes (token ids, positions
+  and layers).  :func:`deserialize_kv` verifies the digest before decoding
+  and raises :class:`KVCorruptionError` on mismatch — a flipped bit in a
+  stored blob surfaces as a typed, retryable failure instead of silently
+  decoding garbage KV.
+* ``RPKV3`` (legacy int8, still readable): the JSON header followed by
+  token ids, positions, then per layer a ``float32`` (k_scale, v_scale)
+  pair and the int8-quantised K/V bytes.  The symmetric per-tensor scale
+  (``max|x| / 127``) executes the 1-byte KV round-trip the cost model's
+  ``dtype_bytes=1`` presets already price.
+* ``RPKV2`` (legacy fp16, still readable): a JSON shape/dtype header
+  followed by the raw C-order array bytes of the token ids, positions
   and per-layer fp16 K/V tensors.  Loading is a zero-copy
   ``np.frombuffer`` + ``reshape`` per array — no zip container, no pickle.
 * ``RPKV1`` (legacy): the same header followed by an ``np.savez`` archive.
@@ -23,6 +30,7 @@ Three wire formats exist:
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 
@@ -33,6 +41,20 @@ from repro.model.tensors import KVCache, LayerKV
 _MAGIC_V1 = b"RPKV1\n"
 _MAGIC_V2 = b"RPKV2\n"
 _MAGIC_V3 = b"RPKV3\n"
+_MAGIC_V4 = b"RPKV4\n"
+
+#: blake2b digest width of the RPKV4 payload checksum (hex in the header).
+_CHECKSUM_BYTES = 16
+
+
+class KVCorruptionError(ValueError):
+    """A serialized KV payload failed its integrity check.
+
+    Raised by :func:`deserialize_kv` when an ``RPKV4`` blob's payload bytes
+    do not hash to the header checksum (bit rot, a torn write, or an
+    injected corruption fault).  Typed so store consumers can retry or fall
+    back to recompute instead of crashing on garbage KV.
+    """
 
 #: On-disk dtype of the KV payload (the paper stores KV caches in fp16).
 _KV_DTYPE = np.dtype(np.float16)
@@ -169,15 +191,28 @@ def quantize_kv_to_store_dtype(cache: KVCache, kv_dtype: str = "float16") -> KVC
 # ----------------------------------------------------------------------
 # Whole-cache serialization
 # ----------------------------------------------------------------------
-def serialize_kv(cache: KVCache, kv_dtype: str = "float16") -> bytes:
+def _payload_checksum(data: bytes, offset: int = 0) -> str:
+    """blake2b hex digest of the payload bytes from *offset* to the end."""
+    digest = hashlib.blake2b(digest_size=_CHECKSUM_BYTES)
+    digest.update(memoryview(data)[offset:])
+    return digest.hexdigest()
+
+
+def serialize_kv(
+    cache: KVCache, kv_dtype: str = "float16", *, checksum: bool = True
+) -> bytes:
     """Serialise *cache* into a self-describing byte string.
 
-    ``kv_dtype="float16"`` (default) writes the ``RPKV2`` raw format:
-    header, token ids, positions, then each layer's fp16 K/V bytes back to
-    back.  ``kv_dtype="int8"`` writes ``RPKV3``: the same layout with each
-    layer prefixed by its float32 (k_scale, v_scale) pair and the K/V
-    payload quantised to one byte per element — the executed counterpart of
-    the ``dtype_bytes=1`` pricing presets.
+    The default writes ``RPKV4``: header (shape, payload dtype, blake2b
+    payload checksum), token ids, positions, then the per-layer payload —
+    fp16 K/V bytes back to back for ``kv_dtype="float16"``, or for
+    ``kv_dtype="int8"`` each layer prefixed by its float32 (k_scale,
+    v_scale) pair with the K/V quantised to one byte per element (the
+    executed counterpart of the ``dtype_bytes=1`` pricing presets).
+
+    ``checksum=False`` writes the previous-generation ``RPKV2``/``RPKV3``
+    formats (no integrity digest) — kept for back-compat round-trip tests
+    and readers pinned to the legacy layout.
     """
     if kv_dtype not in KV_STORE_DTYPES:
         raise ValueError(
@@ -206,26 +241,37 @@ def serialize_kv(cache: KVCache, kv_dtype: str = "float16") -> bytes:
     }
     if int8:
         header["scale_dtype"] = _SCALE_DTYPE.name
-    header_bytes = json.dumps(header).encode("utf-8")
-    parts = [
-        _MAGIC_V3 if int8 else _MAGIC_V2,
-        len(header_bytes).to_bytes(4, "little"),
-        header_bytes,
+    payload_parts = [
         np.ascontiguousarray(cache.token_ids, dtype=_IDX_DTYPE).tobytes(),
         np.ascontiguousarray(cache.positions, dtype=_IDX_DTYPE).tobytes(),
     ]
     for layer in cache.layers:
-        parts.append(pack_layer_kv_int8(layer) if int8 else pack_layer_kv(layer))
-    return b"".join(parts)
+        payload_parts.append(
+            pack_layer_kv_int8(layer) if int8 else pack_layer_kv(layer)
+        )
+    payload = b"".join(payload_parts)
+    if checksum:
+        magic = _MAGIC_V4
+        header["checksum"] = _payload_checksum(payload)
+    else:
+        magic = _MAGIC_V3 if int8 else _MAGIC_V2
+    header_bytes = json.dumps(header).encode("utf-8")
+    return b"".join(
+        [magic, len(header_bytes).to_bytes(4, "little"), header_bytes, payload]
+    )
 
 
 def deserialize_kv(data: bytes) -> KVCache:
-    """Inverse of :func:`serialize_kv`; reads all of ``RPKV1``/``2``/``3``.
+    """Inverse of :func:`serialize_kv`; reads all of ``RPKV1``–``4``.
 
-    The fp16 payload is up-cast to the float32 compute dtype by
+    ``RPKV4`` payloads are integrity-checked first — a blake2b mismatch
+    raises :class:`KVCorruptionError` before any bytes are decoded.  The
+    fp16 payload is up-cast to the float32 compute dtype by
     :class:`~repro.model.tensors.LayerKV` (not to float64 as older versions
     did); an int8 payload is dequantised at its per-tensor scales.
     """
+    if data.startswith(_MAGIC_V4):
+        return _deserialize_v4(data)
     if data.startswith(_MAGIC_V3):
         return _deserialize_v3(data)
     if data.startswith(_MAGIC_V2):
@@ -243,66 +289,75 @@ def _read_header(data: bytes, magic: bytes) -> tuple[dict, int]:
     return header, offset + header_len
 
 
-def _deserialize_v2(data: bytes) -> KVCache:
-    header, offset = _read_header(data, _MAGIC_V2)
+def _decode_raw_payload(data: bytes, header: dict, offset: int) -> KVCache:
+    """Decode the RPKV2/3/4 raw payload (ids, positions, layers) at *offset*."""
     n_layers = header["n_layers"]
     n_tokens = header["n_tokens"]
     n_kv_heads = header["n_kv_heads"]
     head_dim = header["head_dim"]
     kv_dtype = np.dtype(header["kv_dtype"])
     idx_dtype = np.dtype(header["idx_dtype"])
-    if kv_dtype != _KV_DTYPE:
-        raise ValueError(
-            f"unsupported kv_dtype {kv_dtype.name!r} in RPKV2 header; "
-            f"this version decodes {_KV_DTYPE.name} payloads only"
-        )
+    int8 = kv_dtype == _INT8_DTYPE
 
     token_ids = np.frombuffer(data, dtype=idx_dtype, count=n_tokens, offset=offset)
     offset += n_tokens * idx_dtype.itemsize
     positions = np.frombuffer(data, dtype=idx_dtype, count=n_tokens, offset=offset)
     offset += n_tokens * idx_dtype.itemsize
 
-    layer_bytes = 2 * n_tokens * n_kv_heads * head_dim * kv_dtype.itemsize
+    if int8:
+        layer_bytes = _int8_layer_nbytes(n_tokens, n_kv_heads, head_dim)
+        unpack = unpack_layer_kv_int8
+    else:
+        layer_bytes = 2 * n_tokens * n_kv_heads * head_dim * kv_dtype.itemsize
+        unpack = unpack_layer_kv
     layers = []
     for _ in range(n_layers):
-        layers.append(
-            unpack_layer_kv(data, n_tokens, n_kv_heads, head_dim, offset=offset)
-        )
+        layers.append(unpack(data, n_tokens, n_kv_heads, head_dim, offset=offset))
         offset += layer_bytes
     return KVCache(layers, token_ids, positions)
+
+
+def _check_payload_dtype(header: dict, magic: bytes, allowed: tuple) -> None:
+    kv_dtype = np.dtype(header["kv_dtype"])
+    if kv_dtype not in allowed:
+        raise ValueError(
+            f"unsupported kv_dtype {kv_dtype.name!r} in "
+            f"{magic[:-1].decode()} header"
+        )
+    if kv_dtype == _INT8_DTYPE and (
+        np.dtype(header.get("scale_dtype", _SCALE_DTYPE.name)) != _SCALE_DTYPE
+    ):
+        raise ValueError(
+            f"unsupported scale_dtype {header['scale_dtype']!r} in "
+            f"{magic[:-1].decode()} header"
+        )
+
+
+def _deserialize_v4(data: bytes) -> KVCache:
+    header, offset = _read_header(data, _MAGIC_V4)
+    _check_payload_dtype(header, _MAGIC_V4, (_KV_DTYPE, _INT8_DTYPE))
+    expected = header.get("checksum")
+    if not expected:
+        raise KVCorruptionError("RPKV4 header is missing its payload checksum")
+    actual = _payload_checksum(data, offset)
+    if actual != expected:
+        raise KVCorruptionError(
+            f"KV payload checksum mismatch: header {expected!r} vs "
+            f"payload {actual!r} (corrupted or truncated blob)"
+        )
+    return _decode_raw_payload(data, header, offset)
+
+
+def _deserialize_v2(data: bytes) -> KVCache:
+    header, offset = _read_header(data, _MAGIC_V2)
+    _check_payload_dtype(header, _MAGIC_V2, (_KV_DTYPE,))
+    return _decode_raw_payload(data, header, offset)
 
 
 def _deserialize_v3(data: bytes) -> KVCache:
     header, offset = _read_header(data, _MAGIC_V3)
-    n_layers = header["n_layers"]
-    n_tokens = header["n_tokens"]
-    n_kv_heads = header["n_kv_heads"]
-    head_dim = header["head_dim"]
-    kv_dtype = np.dtype(header["kv_dtype"])
-    idx_dtype = np.dtype(header["idx_dtype"])
-    if kv_dtype != _INT8_DTYPE:
-        raise ValueError(
-            f"unsupported kv_dtype {kv_dtype.name!r} in RPKV3 header; "
-            f"this version decodes {_INT8_DTYPE.name} payloads only"
-        )
-    if np.dtype(header.get("scale_dtype", _SCALE_DTYPE.name)) != _SCALE_DTYPE:
-        raise ValueError(
-            f"unsupported scale_dtype {header['scale_dtype']!r} in RPKV3 header"
-        )
-
-    token_ids = np.frombuffer(data, dtype=idx_dtype, count=n_tokens, offset=offset)
-    offset += n_tokens * idx_dtype.itemsize
-    positions = np.frombuffer(data, dtype=idx_dtype, count=n_tokens, offset=offset)
-    offset += n_tokens * idx_dtype.itemsize
-
-    layer_bytes = _int8_layer_nbytes(n_tokens, n_kv_heads, head_dim)
-    layers = []
-    for _ in range(n_layers):
-        layers.append(
-            unpack_layer_kv_int8(data, n_tokens, n_kv_heads, head_dim, offset=offset)
-        )
-        offset += layer_bytes
-    return KVCache(layers, token_ids, positions)
+    _check_payload_dtype(header, _MAGIC_V3, (_INT8_DTYPE,))
+    return _decode_raw_payload(data, header, offset)
 
 
 def _deserialize_v1(data: bytes) -> KVCache:
@@ -322,8 +377,8 @@ def _deserialize_v1(data: bytes) -> KVCache:
 def save_kv(cache: KVCache, path: str, kv_dtype: str = "float16") -> int:
     """Persist *cache* to *path*; returns the number of bytes written.
 
-    ``kv_dtype`` selects the payload format exactly as in
-    :func:`serialize_kv` (``"float16"`` → RPKV2, ``"int8"`` → RPKV3).
+    ``kv_dtype`` selects the RPKV4 payload dtype exactly as in
+    :func:`serialize_kv`.
     """
     payload = serialize_kv(cache, kv_dtype=kv_dtype)
     with open(path, "wb") as handle:

@@ -226,10 +226,14 @@ class KVCacheStore:
     # Delay accounting
     # ------------------------------------------------------------------
     def read_delay(self, key: str) -> float:
-        """Simulated delay of reading the entry at *key* from the device."""
+        """Simulated delay of reading the entry at *key* from the device.
+
+        0.0 for an absent key — a demoted-then-evicted entry prices like
+        the clean miss :meth:`lookup` reports for it, never a ``KeyError``.
+        """
         entry = self._entries.get(key)
         if entry is None:
-            raise KeyError(f"no KV cache stored under key {key!r}")
+            return 0.0
         return self.device.read_time(entry.nbytes)
 
     def write_delay(self, cache: KVCache) -> float:

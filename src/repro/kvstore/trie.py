@@ -215,10 +215,16 @@ class RadixTrieStore:
     # Delay accounting
     # ------------------------------------------------------------------
     def read_delay(self, key: str) -> float:
-        """Simulated delay of reading the full (logical) entry at *key*."""
-        entry = self._entries.get(key)
+        """Simulated delay of reading the full (logical) entry at *key*.
+
+        TTL-aware: an expired entry prices like the miss it is about to
+        become (0.0), matching :meth:`lookup`'s clean-miss guarantee, and
+        an absent key is likewise 0.0 rather than a ``KeyError`` — callers
+        racing an eviction or expiry must never crash on delay pricing.
+        """
+        entry = self._live_entry(key)
         if entry is None:
-            raise KeyError(f"no KV cache stored under key {key!r}")
+            return 0.0
         return self.device.read_time(entry.nbytes)
 
     def write_delay(self, cache: KVCache) -> float:

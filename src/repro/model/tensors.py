@@ -414,6 +414,7 @@ class DecodeSessionStats:
     refill_rows: int = 0
     grows: int = 0
     peak_members: int = 0
+    preemptions: int = 0
 
     def reset(self) -> None:
         """Zero all counters (e.g. after setup, before the steady-state)."""
@@ -424,6 +425,7 @@ class DecodeSessionStats:
         self.refill_rows = 0
         self.grows = 0
         self.peak_members = 0
+        self.preemptions = 0
 
 
 class DecodeSession:
@@ -621,6 +623,21 @@ class DecodeSession:
             self._token_ids[slot, :n].copy(),
             self._positions[slot, :n].copy(),
         )
+
+    def preempt(self, member_id) -> KVCache:
+        """Pause a member: extract its decode state, then free its slot.
+
+        The scheduler's decode-preemption primitive — the returned
+        :class:`KVCache` holds everything needed to resume later via
+        :meth:`join` (same ``member_id`` or a new one), after which stepping
+        continues bitwise exactly where it stopped.  The paused member costs
+        the session nothing while it waits; ``stats.preemptions`` counts the
+        pauses.
+        """
+        cache = self.extract(member_id)
+        self.leave(member_id)
+        self.stats.preemptions += 1
+        return cache
 
     # ------------------------------------------------------------------
     # Stepping (driven by TransformerModel.decode_session_step)

@@ -195,6 +195,39 @@ class OnlineCostCalibration:
         }
 
 
+def predict_first_token_time(
+    ttft_service: float,
+    n_prefill_iters: int = 1,
+    prefill_backlog_s: float = 0.0,
+    n_decoding: int = 0,
+    calibration: OnlineCostCalibration | None = None,
+    analytic_decode_step_s: float = 0.0,
+) -> float:
+    """Predicted service seconds until a newly admitted request's first token
+    under iteration-level continuous batching.
+
+    The newcomer's chunked prefill spans ``n_prefill_iters`` iterations, each
+    of which also runs one co-batched decode step for the ``n_decoding``
+    requests already generating — priced width-aware via
+    :meth:`OnlineCostCalibration.decode_step_time` when *calibration* carries
+    measured decode observations, else as ``n_decoding`` serial analytic
+    slices of ``analytic_decode_step_s`` each.  The running batch's remaining
+    prefill backlog (``prefill_backlog_s``) serialises on the GPU ahead of
+    the newcomer's own slices.  The admission controller adds the time the
+    request already waited in the arrival queue on top of this estimate and
+    compares the sum against the request's deadline.
+    """
+    if n_prefill_iters < 1:
+        raise ValueError("n_prefill_iters must be >= 1")
+    step = 0.0
+    if n_decoding > 0:
+        if calibration is not None and calibration.decode_ready:
+            step = calibration.decode_step_time(n_decoding)
+        else:
+            step = analytic_decode_step_s * n_decoding
+    return prefill_backlog_s + ttft_service + n_prefill_iters * step
+
+
 @dataclass(frozen=True)
 class GPUSpec:
     """Compute/bandwidth characteristics of one GPU (A40-class by default)."""

@@ -33,6 +33,14 @@ class GenerationRequest:
         tiered KV store (and read at that tier's rate) rather than the fast
         (RAM) tier.  ``None`` means the store is untiered and all cached KV
         reads are priced at the engine's single storage device, as before.
+    deadline_s:
+        TTFT service-level objective, in seconds *relative to arrival*: the
+        request wants its first token within ``arrival_time + deadline_s``.
+        ``None`` means best-effort (no SLO; never rejected by admission
+        control and never the trigger of a preemption).
+    priority:
+        Scheduling priority; higher values matter more.  A deadline-carrying
+        prefill may only preempt decodes of equal or lower priority.
     """
 
     request_id: int
@@ -44,6 +52,8 @@ class GenerationRequest:
     cached_chunk_fraction: float = 1.0
     prefix_cached_fraction: float = 0.17
     slow_tier_fraction: float | None = None
+    deadline_s: float | None = None
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.n_chunks < 1 or self.chunk_tokens < 1:
@@ -54,6 +64,8 @@ class GenerationRequest:
             raise ValueError("prefix_cached_fraction must be in [0, 1]")
         if self.slow_tier_fraction is not None and not 0.0 <= self.slow_tier_fraction <= 1.0:
             raise ValueError("slow_tier_fraction must be in [0, 1] when set")
+        if self.deadline_s is not None and self.deadline_s <= 0.0:
+            raise ValueError("deadline_s must be positive when set")
 
     @property
     def n_context_tokens(self) -> int:
@@ -66,7 +78,15 @@ class GenerationRequest:
 
 @dataclass
 class RequestTiming:
-    """Lifecycle timestamps of one request inside the simulator."""
+    """Lifecycle timestamps of one request inside the simulator.
+
+    ``rejected`` marks requests the admission controller turned away — they
+    occupy no server time and their timestamps all equal the rejection
+    instant.  ``n_preemptions`` counts how often the request's decode was
+    paused to make room for an at-risk prefill.  ``deadline_s`` echoes the
+    request's TTFT SLO so :attr:`met_slo` (and goodput aggregation) needs no
+    join back to the request list.
+    """
 
     request_id: int
     arrival_time: float
@@ -74,6 +94,9 @@ class RequestTiming:
     first_token_time: float = 0.0
     completion_time: float = 0.0
     gpu_time: float = field(default=0.0)
+    rejected: bool = False
+    n_preemptions: int = 0
+    deadline_s: float | None = None
 
     @property
     def queueing_delay(self) -> float:
@@ -87,3 +110,14 @@ class RequestTiming:
     @property
     def latency(self) -> float:
         return self.completion_time - self.arrival_time
+
+    @property
+    def met_slo(self) -> bool:
+        """Served, and the first token arrived within the deadline (if any).
+
+        Rejected requests never meet the SLO; best-effort requests (no
+        deadline) count as meeting it whenever they were served.
+        """
+        if self.rejected:
+            return False
+        return self.deadline_s is None or self.ttft <= self.deadline_s

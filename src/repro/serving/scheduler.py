@@ -21,7 +21,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
-from repro.serving.costmodel import OnlineCostCalibration
+from repro.serving.costmodel import OnlineCostCalibration, predict_first_token_time
 from repro.serving.engine import EngineResult
 from repro.serving.request import GenerationRequest, RequestTiming
 
@@ -90,6 +90,7 @@ class FCFSScheduler:
                 first_token_time=first_token,
                 completion_time=completion,
                 gpu_time=result.gpu_time,
+                deadline_s=request.deadline_s,
             )
         return [timing_by_index[i] for i in range(len(requests))]
 
@@ -110,6 +111,8 @@ class _RunningRequest:
     #: loading stall, hideable behind co-batched requests' compute).
     gpu_fraction: float = 1.0
     first_token_time: float | None = None
+    #: How often this request's decode was paused for an at-risk prefill.
+    n_preemptions: int = 0
 
 
 @dataclass
@@ -158,6 +161,26 @@ class ContinuousBatchingScheduler:
         contributes its analytic ``decode_time / steps`` slice, serially.
         Apply the same calibration across all sweep cells so scheme
         comparisons stay apples-to-apples.
+    admission_control:
+        SLO-aware admission.  A deadline-carrying request whose predicted
+        first-token time (:func:`~repro.serving.costmodel.
+        predict_first_token_time`: queue wait already accrued + the running
+        batch's prefill backlog + its own chunked prefill, each iteration
+        paying one co-batched decode step) already misses its ``deadline_s``
+        is *rejected* at admission instead of burning GPU time on a
+        guaranteed SLO miss — its timing record carries ``rejected=True``
+        and occupies no server time.  Best-effort requests (no deadline)
+        are never rejected.
+    preemption:
+        Iteration-level decode preemption.  When a deadline-carrying
+        prefill does not fit the token budget, decode-phase requests of
+        equal or lower priority are *paused* (their batch slots freed, the
+        decode state kept — the engine analogue is
+        :meth:`~repro.model.tensors.DecodeSession.extract` then ``leave``,
+        re-``join`` on resume) to make room.  Paused requests re-join FIFO
+        ahead of new admissions as soon as the budget allows, so they are
+        never starved; ``max_preemptions`` bounds how often any one request
+        may be paused, beyond which it is immune.
     """
 
     n_servers: int = 1
@@ -165,6 +188,9 @@ class ContinuousBatchingScheduler:
     prefill_chunk_tokens: int = 512
     overlap_loads: bool = False
     decode_calibration: OnlineCostCalibration | None = None
+    admission_control: bool = False
+    preemption: bool = False
+    max_preemptions: int = 2
 
     def __post_init__(self) -> None:
         if self.n_servers < 1:
@@ -173,6 +199,8 @@ class ContinuousBatchingScheduler:
             raise ValueError("max_batch_tokens must be >= 1")
         if self.prefill_chunk_tokens < 1:
             raise ValueError("prefill_chunk_tokens must be >= 1")
+        if self.max_preemptions < 0:
+            raise ValueError("max_preemptions must be >= 0")
 
     # ------------------------------------------------------------------
     def schedule(
@@ -185,17 +213,23 @@ class ContinuousBatchingScheduler:
         pending: deque[int] = deque(order)
         clocks = [0.0] * self.n_servers
         active: list[list[_RunningRequest]] = [[] for _ in range(self.n_servers)]
+        paused: list[deque[_RunningRequest]] = [deque() for _ in range(self.n_servers)]
         timing_by_index: dict[int, RequestTiming] = {}
 
-        while pending or any(active):
-            server = self._next_server(pending, requests, clocks, active)
+        while pending or any(active) or any(paused):
+            server = self._next_server(pending, requests, clocks, active, paused)
             clock = clocks[server]
             batch = active[server]
 
-            self._admit(server, pending, requests, results, clocks, active)
+            self._admit(
+                server, pending, requests, results, clocks, active, paused,
+                timing_by_index,
+            )
             if not batch:
-                # Nothing admitted: fast-forward to the next arrival.
-                clocks[server] = max(clock, requests[pending[0]].arrival_time)
+                # Nothing admitted: fast-forward to the next arrival (the
+                # whole queue may have been rejected, leaving no arrival).
+                if pending:
+                    clocks[server] = max(clock, requests[pending[0]].arrival_time)
                 continue
 
             clocks[server] = self._run_iteration(batch, clock, timing_by_index)
@@ -209,6 +243,7 @@ class ContinuousBatchingScheduler:
         requests: list[GenerationRequest],
         clocks: list[float],
         active: list[list[_RunningRequest]],
+        paused: list[deque[_RunningRequest]],
     ) -> int:
         """Server whose next iteration would start earliest."""
         next_arrival = (
@@ -216,7 +251,7 @@ class ContinuousBatchingScheduler:
         )
 
         def next_event(server: int) -> float:
-            if active[server]:
+            if active[server] or paused[server]:
                 return clocks[server]
             return max(clocks[server], next_arrival)
 
@@ -230,19 +265,121 @@ class ContinuousBatchingScheduler:
         results: list[EngineResult],
         clocks: list[float],
         active: list[list[_RunningRequest]],
+        paused: list[deque[_RunningRequest]],
+        timing_by_index: dict[int, RequestTiming],
     ) -> None:
-        """Admit arrived requests into *server*'s batch within the budget."""
+        """Admit arrived requests into *server*'s batch within the budget.
+
+        Preempted decodes resume first (FIFO, ahead of any new admission) so
+        they cannot be starved; new arrivals then pass the optional
+        SLO-admission check and may, when they carry a deadline and do not
+        fit, preempt decode-phase requests to claim their tokens.
+        """
         clock = clocks[server]
         batch = active[server]
+        waiting = paused[server]
         batch_tokens = sum(r.request.n_total_tokens for r in batch)
+        while waiting and (
+            not batch
+            or batch_tokens + waiting[0].request.n_total_tokens
+            <= self.max_batch_tokens
+        ):
+            resumed = waiting.popleft()
+            batch.append(resumed)
+            batch_tokens += resumed.request.n_total_tokens
         while pending and requests[pending[0]].arrival_time <= clock:
             candidate = requests[pending[0]]
+            result = results[pending[0]]
+            if (
+                self.admission_control
+                and candidate.deadline_s is not None
+                and not self._admission_check(candidate, result, clock, batch)
+            ):
+                index = pending.popleft()
+                timing_by_index[index] = RequestTiming(
+                    request_id=candidate.request_id,
+                    arrival_time=candidate.arrival_time,
+                    start_time=clock,
+                    first_token_time=clock,
+                    completion_time=clock,
+                    rejected=True,
+                    deadline_s=candidate.deadline_s,
+                )
+                continue
             fits = batch_tokens + candidate.n_total_tokens <= self.max_batch_tokens
+            if not fits and self.preemption and candidate.deadline_s is not None:
+                batch_tokens -= self._preempt_for(candidate, batch, waiting, batch_tokens)
+                fits = batch_tokens + candidate.n_total_tokens <= self.max_batch_tokens
             if not fits and batch:
                 break
             index = pending.popleft()
-            batch.append(self._make_running(index, candidate, results[index], clock))
+            batch.append(self._make_running(index, candidate, result, clock))
             batch_tokens += candidate.n_total_tokens
+
+    def _admission_check(
+        self,
+        candidate: GenerationRequest,
+        result: EngineResult,
+        clock: float,
+        batch: list[_RunningRequest],
+    ) -> bool:
+        """Would *candidate*'s first token plausibly arrive within its SLO?"""
+        decoding = [
+            r for r in batch if r.remaining_prefill <= 0.0 and r.decode_steps_left > 0
+        ]
+        n_prefill_iters = max(
+            1, -(-candidate.n_total_tokens // self.prefill_chunk_tokens)
+        )
+        analytic_step = (
+            sum(r.decode_step for r in decoding) / len(decoding) if decoding else 0.0
+        )
+        predicted = predict_first_token_time(
+            ttft_service=result.ttft_service,
+            n_prefill_iters=n_prefill_iters,
+            prefill_backlog_s=sum(r.remaining_prefill for r in batch),
+            n_decoding=len(decoding),
+            calibration=self.decode_calibration,
+            analytic_decode_step_s=analytic_step,
+        )
+        waited = clock - candidate.arrival_time
+        return waited + predicted <= candidate.deadline_s
+
+    def _preempt_for(
+        self,
+        candidate: GenerationRequest,
+        batch: list[_RunningRequest],
+        waiting: deque[_RunningRequest],
+        batch_tokens: int,
+    ) -> int:
+        """Pause decode-phase victims to fit *candidate*; returns freed tokens.
+
+        Victims must be decode-phase (their prefill — and first token — is
+        done, so pausing them costs throughput, never a TTFT SLO), of equal
+        or lower priority, and under the ``max_preemptions`` cap.  Lowest
+        priority is paused first; no more victims are taken once the
+        candidate fits.
+        """
+        needed = batch_tokens + candidate.n_total_tokens - self.max_batch_tokens
+        victims = sorted(
+            (
+                r
+                for r in batch
+                if r.remaining_prefill <= 0.0
+                and r.decode_steps_left > 0
+                and r.request.priority <= candidate.priority
+                and r.n_preemptions < self.max_preemptions
+            ),
+            key=lambda r: (r.request.priority, -r.start_time),
+        )
+        freed = 0
+        for victim in victims:
+            if freed >= needed:
+                break
+            batch.remove(victim)
+            victim.n_preemptions += 1
+            waiting.append(victim)
+            freed += victim.request.n_total_tokens
+        return freed
 
     def _make_running(
         self,
@@ -352,5 +489,7 @@ class ContinuousBatchingScheduler:
                 first_token_time=first_token,
                 completion_time=iteration_end,
                 gpu_time=running.result.gpu_time,
+                n_preemptions=running.n_preemptions,
+                deadline_s=running.request.deadline_s,
             )
         return iteration_end

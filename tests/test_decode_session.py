@@ -395,3 +395,114 @@ class TestMemoryRelease:
         )
         with pytest.raises(ValueError):
             session.join("shape", wrong_shape)
+
+
+class TestPreemptionInvariants:
+    """Pause/resume mid-generation must be invisible to the tokens.
+
+    The scheduler's decode preemption maps to ``session.preempt`` (extract
+    + leave) followed by a later re-``join``; the resumed stream must be
+    bitwise identical to one that was never paused, no matter when the
+    pause happens or how the batch churns around it.
+    """
+
+    LENGTHS = (11, 8, 15)
+    N_STEPS = 10
+
+    @pytest.fixture(scope="class")
+    def streams(self, model):
+        rng = np.random.default_rng(17)
+        return rng.integers(
+            4, model.config.vocab_size, size=(len(self.LENGTHS), self.N_STEPS)
+        ).astype(np.int64)
+
+    def _run_with_pause(self, model, streams, pause_at: int, resume_at: int):
+        """Member 1 is preempted at *pause_at* and resumes at *resume_at*;
+        its steps between the two are replayed after resuming so every
+        member sees the same token stream.  Returns per-member logits of
+        member 1's steps plus its final extracted cache."""
+        prefills = _prefill_caches(model, self.LENGTHS, seed=70)
+        session = model.new_decode_session()
+        for i, p in enumerate(prefills):
+            session.join(i, p.kv_cache, reserve=self.N_STEPS)
+        paused = None
+        victim_logits = []
+        victim_step = 0
+        for step in range(self.N_STEPS):
+            if step == pause_at:
+                paused = session.preempt(1)
+            if step == resume_at and paused is not None:
+                session.join(1, paused, reserve=self.N_STEPS)
+                paused = None
+            order = list(session.member_ids)
+            tokens = [int(streams[m, victim_step if m == 1 else step]) for m in order]
+            logits = model.decode_session_step(session, tokens)
+            for slot, m in enumerate(order):
+                if m == 1:
+                    victim_logits.append(logits[slot])
+                    victim_step += 1
+        final = session.extract(1) if 1 in session.member_ids else paused
+        return victim_logits, final
+
+    def test_preempted_then_resumed_decode_is_bitwise_identical(self, model, streams):
+        # Unpreempted reference: member 1 decodes its stream start to end.
+        prefills = _prefill_caches(model, self.LENGTHS, seed=70)
+        reference = model.new_decode_session()
+        for i, p in enumerate(prefills):
+            reference.join(i, p.kv_cache, reserve=self.N_STEPS)
+        ref_logits = []
+        for step in range(self.N_STEPS):
+            logits = model.decode_session_step(reference, streams[:, step])
+            ref_logits.append(logits[1])
+        ref_cache = reference.extract(1)
+
+        got_logits, got_cache = self._run_with_pause(
+            model, streams, pause_at=4, resume_at=7
+        )
+        # The victim decoded fewer steps (it was paused) but every step it
+        # did decode is bitwise equal to the unpreempted run's same step.
+        assert len(got_logits) < self.N_STEPS
+        for step, got in enumerate(got_logits):
+            np.testing.assert_array_equal(got, ref_logits[step])
+        # And its cache is the unpreempted cache truncated to those steps.
+        n = got_cache.n_tokens
+        np.testing.assert_array_equal(got_cache.token_ids, ref_cache.token_ids[:n])
+        np.testing.assert_array_equal(got_cache.positions, ref_cache.positions[:n])
+        for got_layer, ref_layer in zip(got_cache.layers, ref_cache.layers):
+            np.testing.assert_array_equal(got_layer.keys, ref_layer.keys[:n])
+            np.testing.assert_array_equal(got_layer.values, ref_layer.values[:n])
+
+    def test_preempt_roundtrip_is_bitwise_through_rejoin(self, model):
+        prefills = _prefill_caches(model, self.LENGTHS, seed=71)
+        session = model.new_decode_session()
+        for i, p in enumerate(prefills):
+            session.join(i, p.kv_cache, reserve=4)
+        paused = session.preempt(1)
+        assert 1 not in session.member_ids
+        assert session.stats.preemptions == 1
+        session.join(1, paused, reserve=4)
+        restored = session.extract(1)
+        np.testing.assert_array_equal(restored.token_ids, paused.token_ids)
+        for got_layer, want_layer in zip(restored.layers, paused.layers):
+            np.testing.assert_array_equal(got_layer.keys, want_layer.keys)
+            np.testing.assert_array_equal(got_layer.values, want_layer.values)
+
+    def test_survivors_unaffected_by_a_preemption(self, model, streams):
+        """Members 0 and 2 must decode identically whether or not member 1
+        is preempted beside them."""
+        prefills = _prefill_caches(model, self.LENGTHS, seed=72)
+        undisturbed = model.new_decode_session()
+        churned = model.new_decode_session()
+        for i, p in enumerate(prefills):
+            undisturbed.join(i, p.kv_cache, reserve=self.N_STEPS)
+            churned.join(i, p.kv_cache, reserve=self.N_STEPS)
+        for step in range(self.N_STEPS):
+            if step == 3:
+                churned.preempt(1)
+            ref = model.decode_session_step(undisturbed, streams[:, step])
+            order = list(churned.member_ids)
+            got = model.decode_session_step(
+                churned, [int(streams[m, step]) for m in order]
+            )
+            for slot, m in enumerate(order):
+                np.testing.assert_array_equal(got[slot], ref[m])

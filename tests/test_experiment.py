@@ -274,3 +274,172 @@ class TestStoreCapacityAxis:
         config = config_from_args(args)
         assert config.store_capacity_chunks == (8, 32)
         assert config.store_slow_capacity_factor == 2.0
+
+
+class TestAdmissionAxis:
+    """Overload robustness: SLO admission + preemption vs plain serving,
+    compared inside a single report (the acceptance criterion)."""
+
+    @pytest.fixture(scope="class")
+    def overload_report(self):
+        config = ExperimentConfig(
+            models=("mistral-7b",),
+            devices=("nvme_ssd",),
+            schemes=("cacheblend",),
+            n_requests=60,
+            request_rate=3.0,
+            arrival_pattern="bursty",
+            ttft_slo_s=8.0,
+            admission_policies=("none", "slo"),
+            seed=13,
+        )
+        return ExperimentRunner(config).run()
+
+    def test_one_cell_per_policy(self, overload_report):
+        policies = sorted(c.admission_policy for c in overload_report.cells)
+        assert policies == ["none", "slo"]
+
+    def test_slo_policy_strictly_improves_goodput(self, overload_report):
+        by_policy = {c.admission_policy: c for c in overload_report.cells}
+        plain, slo = by_policy["none"], by_policy["slo"]
+        assert slo.goodput > plain.goodput
+        assert slo.slo_attainment > plain.slo_attainment
+        # Shedding/preemption actually engaged (otherwise the comparison is
+        # vacuous): at least one of the two mechanisms fired.
+        assert slo.rejection_rate > 0.0 or slo.preemption_count > 0
+
+    def test_admission_comparison_row_in_the_same_report(self, overload_report):
+        rows = [
+            row
+            for row in overload_report.comparisons
+            if row.get("comparison") == "admission_vs_none"
+        ]
+        assert len(rows) == 1
+        (row,) = rows
+        assert row["admission_improves_goodput"]
+        assert row["goodput_gain"] > 1.0
+
+    def test_document_validates(self, overload_report):
+        validate_report(report_to_dict(overload_report, tag="overload"))
+
+    def test_plain_cells_report_trivial_robustness_columns(self, report):
+        for cell in report.cells:
+            assert cell.admission_policy == "none"
+            assert cell.rejection_rate == 0.0
+            assert cell.preemption_count == 0
+            assert cell.slo_attainment == 1.0
+            # Without deadlines every served request "meets SLO", so goodput
+            # collapses to throughput.
+            assert cell.goodput == pytest.approx(cell.throughput)
+
+    def test_slo_policy_requires_a_deadline(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(admission_policies=("none", "slo"))
+
+    def test_slo_policy_requires_continuous_scheduler(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(
+                scheduler="fcfs", ttft_slo_s=5.0, admission_policies=("slo",)
+            )
+
+    def test_unknown_policy_and_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(admission_policies=("vip_only",), ttft_slo_s=5.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(arrival_pattern="lumpy")
+
+
+class TestFaultAxis:
+    """Injected store faults: recompute fallback priced, twin-run inflation."""
+
+    @pytest.fixture(scope="class")
+    def fault_report(self):
+        config = ExperimentConfig(
+            models=("mistral-7b",),
+            devices=("nvme_ssd",),
+            schemes=("cacheblend", "full_recompute"),
+            n_requests=40,
+            fault_rate=0.05,
+            seed=0,
+        )
+        return ExperimentRunner(config).run()
+
+    def test_cells_carry_fault_columns(self, fault_report):
+        for cell in fault_report.cells:
+            assert cell.fault_rate == 0.05
+            assert cell.fault_recovered_chunks > 0
+            assert cell.fault_ttft_inflation is not None
+
+    def test_fault_recovery_inflates_cacheblend_ttft(self, fault_report):
+        """Recomputing faulted chunks costs real prefill time for schemes
+        that reuse KV; full recompute never trusted the store, so its twin
+        runs are identical."""
+        by_scheme = {c.scheme: c for c in fault_report.cells}
+        assert by_scheme["cacheblend"].fault_ttft_inflation > 1.0
+        assert by_scheme["full_recompute"].fault_ttft_inflation == pytest.approx(1.0)
+
+    def test_fault_relabelling_is_deterministic(self, fault_report):
+        config = fault_report.config
+        twin = ExperimentRunner(config).run()
+        assert [c.fault_recovered_chunks for c in twin.cells] == [
+            c.fault_recovered_chunks for c in fault_report.cells
+        ]
+        assert [c.mean_ttft for c in twin.cells] == [
+            c.mean_ttft for c in fault_report.cells
+        ]
+
+    def test_fault_free_cells_have_null_inflation(self, report):
+        for cell in report.cells:
+            assert cell.fault_rate == 0.0
+            assert cell.fault_recovered_chunks == 0
+            assert cell.fault_ttft_inflation is None
+
+    def test_fault_rate_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(fault_rate=-0.1)
+        with pytest.raises(ValueError):
+            ExperimentConfig(fault_rate=1.5)
+
+    def test_document_validates(self, fault_report):
+        validate_report(report_to_dict(fault_report, tag="faults"))
+
+
+class TestRobustnessSchema:
+    def test_robustness_columns_required_by_the_schema(self, report):
+        for column in (
+            "admission_policy",
+            "goodput",
+            "slo_attainment",
+            "rejection_rate",
+            "preemption_count",
+            "fault_rate",
+            "fault_recovered_chunks",
+            "fault_ttft_inflation",
+        ):
+            document = report_to_dict(report, tag="broken")
+            del document["cells"][0][column]
+            with pytest.raises(ValueError):
+                validate_report(document)
+
+    def test_out_of_range_robustness_values_rejected(self, report):
+        document = report_to_dict(report, tag="broken")
+        document["cells"][0]["rejection_rate"] = 1.5
+        with pytest.raises(ValueError):
+            validate_report(document)
+
+    def test_cli_flags_reach_the_config(self):
+        from repro.bench.__main__ import build_parser, config_from_args
+
+        args = build_parser().parse_args(
+            [
+                "--arrival", "bursty",
+                "--ttft-slo", "8.0",
+                "--admission-policies", "none", "slo",
+                "--fault-rate", "0.05",
+            ]
+        )
+        config = config_from_args(args)
+        assert config.arrival_pattern == "bursty"
+        assert config.ttft_slo_s == 8.0
+        assert config.admission_policies == ("none", "slo")
+        assert config.fault_rate == 0.05

@@ -171,6 +171,77 @@ class TestChunkStoreProtocol:
             StoreConfig(backend="redis")
 
 
+class TestCleanMissRegressions:
+    """Demoted-then-evicted and expired keys must read as clean misses.
+
+    Locks the robustness contract the fault-tolerant gather path depends
+    on: no churn sequence may turn a store read into a ``KeyError``.
+    """
+
+    def _demote_then_evict(self) -> TieredKVStore:
+        # RAM holds 1 entry, SSD holds 1: inserting a/b/c demotes "a" to
+        # SSD, then demoting "b" evicts "a" from the SSD tier entirely.
+        store = _tiered(ram_entries=1, ssd_entries=1)
+        for seed, key in enumerate(("a", "b", "c"), start=1):
+            store.put(key, _cache(seed))
+        assert not store.contains("a")
+        return store
+
+    def test_demoted_then_evicted_key_is_a_clean_miss(self):
+        store = self._demote_then_evict()
+        found = store.lookup("a")  # must not raise
+        assert not found.hit
+        assert found.cache is None and found.tier_index is None
+        assert found.read_delay == 0.0
+
+    def test_demoted_then_evicted_key_read_delay_is_zero(self):
+        store = self._demote_then_evict()
+        assert store.read_delay("a") == 0.0
+        assert store.tiers[0].read_delay("a") == 0.0
+        assert store.tiers[1].read_delay("a") == 0.0
+
+    def test_read_delay_prices_the_serving_tier(self):
+        store = _tiered()
+        store.put("a", _cache(1))
+        store.tiers[1].put("b", _cache(2))
+        assert store.read_delay("a") == get_device("cpu_ram").read_time(ENTRY_BYTES)
+        assert store.read_delay("b") == get_device("nvme_ssd").read_time(ENTRY_BYTES)
+
+    def test_randomised_churn_never_raises(self):
+        # 400 mixed ops over tight TTL'd trie tiers with demotion churn:
+        # every lookup/read_delay returns cleanly, hit or miss.
+        rng = np.random.default_rng(7)
+        entry = RadixTrieStore(device=get_device("cpu_ram"))
+        probe = _cache(1, n_tokens=6)
+        entry.put("probe", probe)
+        nbytes = entry.logical_bytes
+        store = TieredKVStore(
+            tiers=[
+                RadixTrieStore(
+                    device=get_device("cpu_ram"),
+                    capacity_bytes=3 * nbytes,
+                    ttl_s=0.002,
+                ),
+                RadixTrieStore(
+                    device=get_device("nvme_ssd"),
+                    capacity_bytes=6 * nbytes,
+                    ttl_s=0.002,
+                ),
+            ]
+        )
+        keys = [f"k{i}" for i in range(12)]
+        for step in range(400):
+            key = keys[int(rng.integers(len(keys)))]
+            op = int(rng.integers(3))
+            if op == 0:
+                store.put(key, _cache(int(rng.integers(1, 50)), n_tokens=6))
+            elif op == 1:
+                found = store.lookup(key)
+                assert found.hit == (found.cache is not None)
+            else:
+                assert store.read_delay(key) >= 0.0
+
+
 class TestTieredChunkTracker:
     def test_replays_hits_by_tier(self):
         tracker = TieredChunkTracker(tier_capacities=(2, 4))

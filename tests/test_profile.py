@@ -137,7 +137,7 @@ class TestDecodeSessionProfile:
 
     def test_session_op_is_timed_and_validated(self, document):
         assert document["ops"]["decode_session"]["min_s"] > 0.0
-        assert document["schema_version"] == 4
+        assert document["schema_version"] == 5
 
     def test_session_amortises_vs_sequential_at_batch_4(self, document):
         decode = document["decode"]
@@ -228,3 +228,45 @@ class TestStoreProfile:
 
     def test_summary_renders_the_store_line(self, document):
         assert "tiered trie store" in format_profile_summary(document)
+
+
+class TestPreemptResumeProfile:
+    """Acceptance: the scheduler's pause/resume round-trip is profiled and
+    gated — preempting a decode slot must stay a cheap, bounded operation."""
+
+    def test_preempt_resume_op_is_timed(self, document):
+        assert document["ops"]["preempt_resume"]["min_s"] > 0.0
+        assert document["decode"]["preempt_resume_s"] == (
+            document["ops"]["preempt_resume"]["min_s"]
+        )
+
+    def test_round_trip_is_cheaper_than_a_full_decode_run(self, document):
+        """One preempt/rejoin/step cycle vs the whole B×T session decode:
+        if a single round-trip cost as much as decoding the entire workload,
+        preemption would never pay for itself."""
+        assert (
+            document["ops"]["preempt_resume"]["min_s"]
+            < document["ops"]["decode_session"]["min_s"]
+        )
+
+    def test_preempt_resume_is_gated(self, document):
+        baseline = copy.deepcopy(document)
+        baseline["ops"]["preempt_resume"]["min_s"] = (
+            document["ops"]["preempt_resume"]["min_s"] / 10.0
+        )
+        failures = check_against_baseline(document, baseline, max_regression=2.0)
+        assert len(failures) == 1
+        assert "preempt_resume" in failures[0]
+
+    def test_validation_rejects_missing_preempt_op(self, document):
+        broken = copy.deepcopy(document)
+        del broken["ops"]["preempt_resume"]
+        with pytest.raises(ValueError):
+            validate_profile_report(broken)
+        broken = copy.deepcopy(document)
+        del broken["decode"]["preempt_resume_s"]
+        with pytest.raises(ValueError):
+            validate_profile_report(broken)
+
+    def test_summary_renders_the_preempt_line(self, document):
+        assert "preempt/resume round-trip" in format_profile_summary(document)

@@ -1,4 +1,4 @@
-"""KV serialization: raw v2/v3 formats, per-layer payloads, legacy v1 reads."""
+"""KV serialization: checksummed v4, raw v2/v3, per-layer payloads, legacy v1."""
 
 import io
 import json
@@ -7,6 +7,7 @@ import numpy as np
 import pytest
 
 from repro.kvstore.serialization import (
+    KVCorruptionError,
     deserialize_kv,
     int8_scale,
     load_kv,
@@ -53,9 +54,9 @@ class TestRawFormatRoundTrip:
             assert layer.values.dtype == np.float32
 
     def test_no_zip_container(self):
-        """The v2 payload is raw bytes — no np.savez zip archive inside."""
+        """The raw payload has no np.savez zip archive inside."""
         payload = serialize_kv(_make_cache())
-        assert payload.startswith(b"RPKV2\n")
+        assert payload.startswith(b"RPKV4\n")
         assert b"PK\x03\x04" not in payload  # zip local-file-header magic
 
     def test_header_describes_shapes(self):
@@ -81,7 +82,8 @@ class TestRawFormatRoundTrip:
             serialize_kv(cache)
 
     def test_unknown_kv_dtype_rejected(self):
-        payload = bytearray(serialize_kv(_make_cache()))
+        """RPKV2 decodes fp16 payloads only — a tampered header is refused."""
+        payload = bytearray(serialize_kv(_make_cache(), checksum=False))
         header_len = int.from_bytes(payload[6:10], "little")
         header = json.loads(payload[10 : 10 + header_len])
         header["kv_dtype"] = "int8"
@@ -175,7 +177,7 @@ class TestInt8Format:
 
     def test_payload_is_one_byte_per_element(self):
         cache = _make_cache(n_tokens=32)
-        int8 = serialize_kv(cache, kv_dtype="int8")
+        int8 = serialize_kv(cache, kv_dtype="int8", checksum=False)
         assert int8.startswith(b"RPKV3\n")
         header_len = int.from_bytes(int8[6:10], "little")
         kv_elements = sum(2 * layer.keys.size for layer in cache.layers)
@@ -196,8 +198,11 @@ class TestInt8Format:
         restored = deserialize_kv(serialize_kv(cache, kv_dtype="int8"))
         assert np.all(restored.layers[0].keys == 0.0)
 
-    def test_fp16_default_still_writes_v2(self):
-        assert serialize_kv(_make_cache()).startswith(b"RPKV2\n")
+    def test_legacy_writer_still_emits_v2_and_v3(self):
+        assert serialize_kv(_make_cache(), checksum=False).startswith(b"RPKV2\n")
+        assert serialize_kv(
+            _make_cache(), kv_dtype="int8", checksum=False
+        ).startswith(b"RPKV3\n")
 
     def test_unknown_store_dtype_rejected(self):
         with pytest.raises(ValueError, match="kv_dtype"):
@@ -210,6 +215,66 @@ class TestInt8Format:
         path = tmp_path / "cache_int8.rpkv"
         nbytes = save_kv(cache, str(path), kv_dtype="int8")
         assert path.stat().st_size == nbytes
-        assert path.read_bytes().startswith(b"RPKV3\n")
+        assert path.read_bytes().startswith(b"RPKV4\n")
         restored = load_kv(str(path))
         assert restored.n_tokens == cache.n_tokens
+
+
+class TestChecksum:
+    """RPKV4: blake2b payload digest, typed corruption failures, back-compat."""
+
+    def test_default_writes_v4_with_checksum_header(self):
+        payload = serialize_kv(_make_cache())
+        assert payload.startswith(b"RPKV4\n")
+        header_len = int.from_bytes(payload[6:10], "little")
+        header = json.loads(payload[10 : 10 + header_len])
+        assert len(header["checksum"]) == 32  # 16-byte blake2b, hex
+
+    @pytest.mark.parametrize("kv_dtype", ["float16", "int8"])
+    def test_round_trip_both_dtypes(self, kv_dtype):
+        cache = _make_cache(seed=11)
+        restored = deserialize_kv(serialize_kv(cache, kv_dtype=kv_dtype))
+        assert restored.n_layers == cache.n_layers
+        assert np.array_equal(restored.token_ids, cache.token_ids)
+
+    @pytest.mark.parametrize("kv_dtype", ["float16", "int8"])
+    def test_flipped_payload_byte_raises_typed_error(self, kv_dtype):
+        blob = bytearray(serialize_kv(_make_cache(), kv_dtype=kv_dtype))
+        blob[-1] ^= 0xFF
+        with pytest.raises(KVCorruptionError, match="checksum mismatch"):
+            deserialize_kv(bytes(blob))
+
+    def test_truncated_payload_raises_typed_error(self):
+        blob = serialize_kv(_make_cache())
+        with pytest.raises(KVCorruptionError):
+            deserialize_kv(blob[:-8])
+
+    def test_corruption_error_is_a_value_error(self):
+        # Callers catching the historical ValueError keep working.
+        assert issubclass(KVCorruptionError, ValueError)
+
+    def test_header_tamper_detected_or_rejected(self):
+        """Zeroing the checksum field makes the blob fail closed."""
+        payload = bytearray(serialize_kv(_make_cache()))
+        header_len = int.from_bytes(payload[6:10], "little")
+        header = json.loads(payload[10 : 10 + header_len])
+        header["checksum"] = "0" * len(header["checksum"])
+        new_header = json.dumps(header).encode("utf-8")
+        rebuilt = (
+            bytes(payload[:6])
+            + len(new_header).to_bytes(4, "little")
+            + new_header
+            + bytes(payload[10 + header_len :])
+        )
+        with pytest.raises(KVCorruptionError):
+            deserialize_kv(rebuilt)
+
+    @pytest.mark.parametrize("kv_dtype", ["float16", "int8"])
+    def test_legacy_blobs_still_readable(self, kv_dtype):
+        cache = _make_cache(seed=5)
+        legacy = serialize_kv(cache, kv_dtype=kv_dtype, checksum=False)
+        via_v4 = deserialize_kv(serialize_kv(cache, kv_dtype=kv_dtype))
+        via_legacy = deserialize_kv(legacy)
+        for a, b in zip(via_v4.layers, via_legacy.layers):
+            np.testing.assert_array_equal(a.keys, b.keys)
+            np.testing.assert_array_equal(a.values, b.values)

@@ -143,6 +143,46 @@ class TestTrieEviction:
         assert store.bytes_stored == _cache([1, 2, 3, 4]).nbytes(2)
 
 
+class TestTTLCleanMissRegressions:
+    """TTL expiry mid-serving must surface as a clean miss, never a raise.
+
+    The fault-tolerant gather path retries lookups and prices read delays
+    on arbitrary keys at arbitrary times; a key whose entry expired between
+    two of those calls has to behave exactly like one that was never
+    stored.
+    """
+
+    def test_expired_entry_lookup_is_a_clean_miss(self):
+        store = _trie(ttl_s=0.005)
+        store.put("a", _cache([1, 2, 3, 4]))
+        time.sleep(0.02)
+        found = store.lookup("a")  # must not raise
+        assert not found.hit and found.cache is None
+        assert found.read_delay == 0.0
+        assert store.stats.misses == 1
+        assert store.stats.expirations == 1
+
+    def test_expired_entry_read_delay_is_zero(self):
+        store = _trie(ttl_s=0.005)
+        store.put("a", _cache([1, 2, 3, 4]))
+        assert store.read_delay("a") > 0.0
+        time.sleep(0.02)
+        assert store.read_delay("a") == 0.0
+
+    def test_absent_key_read_delay_is_zero(self):
+        assert _trie().read_delay("never-stored") == 0.0
+
+    def test_expiry_between_contains_and_lookup_still_clean(self):
+        # The racy interleaving: contains() says yes, the entry expires,
+        # then lookup() runs — it must report a miss, not raise.
+        store = _trie(ttl_s=0.005)
+        store.put("a", _cache([1, 2, 3, 4]))
+        assert store.contains("a")
+        time.sleep(0.02)
+        found = store.lookup("a")
+        assert not found.hit
+
+
 class TestChunkKeyVersioning:
     def test_key_carries_the_version_prefix(self):
         key = chunk_key(np.array([1, 2, 3], dtype=np.int64), model_name="m")

@@ -109,3 +109,80 @@ class TestTieredStoreSimulation:
         generator = WorkloadGenerator(dataset="2wikimqa", seed=0)
         with pytest.raises(RuntimeError):
             generator.simulate_tiered_store(8, 32)
+
+
+class TestArrivalPatterns:
+    """Bursty/diurnal presets: overload windows at the same average rate."""
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(arrival_pattern="tsunami")
+
+    @pytest.mark.parametrize("pattern", ["poisson", "bursty", "diurnal"])
+    def test_arrivals_strictly_increasing(self, pattern):
+        generator = WorkloadGenerator(
+            request_rate=2.0, arrival_pattern=pattern, seed=11
+        )
+        arrivals = [r.arrival_time for r in generator.generate(200)]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    @pytest.mark.parametrize("pattern", ["bursty", "diurnal"])
+    def test_long_run_rate_is_preserved(self, pattern):
+        rate = 4.0
+        generator = WorkloadGenerator(
+            request_rate=rate, arrival_pattern=pattern, seed=12
+        )
+        requests = generator.generate(2000)
+        empirical = len(requests) / requests[-1].arrival_time
+        assert empirical == pytest.approx(rate, rel=0.2)
+
+    def test_bursty_concentrates_arrivals_into_overload_windows(self):
+        """The in-burst gaps run several times faster than the nominal rate,
+        so gap variance (burstiness) must clearly exceed Poisson's."""
+        rate = 2.0
+        poisson = WorkloadGenerator(request_rate=rate, seed=13).generate(1000)
+        bursty = WorkloadGenerator(
+            request_rate=rate, arrival_pattern="bursty", seed=13
+        ).generate(1000)
+
+        def squared_cv(requests):
+            gaps = np.diff([r.arrival_time for r in requests])
+            return float(np.var(gaps) / np.mean(gaps) ** 2)
+
+        assert squared_cv(bursty) > 1.5 * squared_cv(poisson)
+        # The median gap is an in-burst gap: well under the nominal mean.
+        gaps = np.diff([r.arrival_time for r in bursty])
+        assert float(np.median(gaps)) < 0.5 / rate
+
+    def test_diurnal_rate_oscillates(self):
+        """Arrival density in the peak half-cycle beats the trough's."""
+        generator = WorkloadGenerator(
+            request_rate=2.0, arrival_pattern="diurnal", seed=14
+        )
+        arrivals = np.array([r.arrival_time for r in generator.generate(1000)])
+        span = arrivals[-1]
+        counts, _ = np.histogram(arrivals, bins=8, range=(0.0, span))
+        assert counts.max() > 1.5 * max(1, counts.min())
+
+    def test_patterns_are_deterministic_per_seed(self):
+        a = WorkloadGenerator(arrival_pattern="bursty", seed=15).generate(50)
+        b = WorkloadGenerator(arrival_pattern="bursty", seed=15).generate(50)
+        assert [r.arrival_time for r in a] == [r.arrival_time for r in b]
+
+
+class TestTTFTSLOStamping:
+    def test_deadline_stamped_on_every_request(self):
+        generator = WorkloadGenerator(ttft_slo_s=5.0, seed=16)
+        for request in generator.generate(40):
+            assert request.deadline_s == 5.0
+
+    def test_no_slo_means_no_deadline(self):
+        generator = WorkloadGenerator(seed=17)
+        for request in generator.generate(40):
+            assert request.deadline_s is None
+
+    def test_non_positive_slo_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(ttft_slo_s=0.0)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(ttft_slo_s=-1.0)
