@@ -29,6 +29,7 @@ from repro.bench.workload import ARRIVAL_PATTERNS, DATASET_PRESETS
 from repro.kvstore.device import DEVICE_PRESETS
 from repro.model.config import MODEL_PRESETS
 from repro.serving.engine import SCHEMES
+from repro.serving.router import ROUTING_POLICIES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,6 +127,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--store-slow-factor", type=float, default=4.0, metavar="X",
         help="slow-tier capacity as a multiple of the RAM tier (default 4)",
     )
+    parser.add_argument(
+        "--fleet-sizes", nargs="+", type=int, default=None, metavar="N",
+        help="fleet axis: replica counts to sweep (e.g. 1 2 4 8); each cell "
+        "routes the workload over N engine replicas with private chunk "
+        "stores and reports per-replica hit rates and utilisation skew",
+    )
+    parser.add_argument(
+        "--routing-policies", nargs="+", default=None,
+        choices=ROUTING_POLICIES, metavar="POLICY",
+        help="routing policies of the fleet axis "
+        f"(default: all of {', '.join(ROUTING_POLICIES)})",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--with-proxy", action="store_true",
@@ -161,6 +174,8 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         ttft_slo_s=args.ttft_slo,
         admission_policies=tuple(args.admission_policies or ("none",)),
         fault_rate=args.fault_rate,
+        fleet_sizes=tuple(args.fleet_sizes or ()),
+        routing_policies=tuple(args.routing_policies or ROUTING_POLICIES),
         seed=args.seed,
     )
 

@@ -32,6 +32,7 @@ from repro.model.config import get_config
 from repro.serving.costmodel import OnlineCostCalibration, ServingCostModel
 from repro.serving.engine import SCHEMES, InferenceEngine
 from repro.serving.request import GenerationRequest, RequestTiming
+from repro.serving.router import ROUTING_POLICIES, simulate_fleet
 from repro.serving.scheduler import (
     ContinuousBatchingScheduler,
     FCFSScheduler,
@@ -112,6 +113,16 @@ class ExperimentConfig:
     #: retry-then-recompute fallback.  Cells report the recomputed-chunk
     #: count and the measured TTFT inflation against a clean twin run.
     fault_rate: float = 0.0
+    #: Fleet axis: replica counts to sweep (e.g. ``(1, 2, 4, 8)``).  For
+    #: each size × routing policy the workload's chunk access trace is
+    #: routed over that many engine replicas — each with a *private* chunk
+    #: store of ``cache_chunk_capacity`` entries and its own scheduler —
+    #: and the cell reports aggregate throughput, per-replica hit rates and
+    #: utilisation skew.  Empty (default) keeps the single-server sweep.
+    fleet_sizes: tuple[int, ...] = ()
+    #: Routing policies of the fleet axis (see
+    #: :data:`~repro.serving.router.ROUTING_POLICIES`).
+    routing_policies: tuple[str, ...] = ROUTING_POLICIES
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -143,6 +154,29 @@ class ExperimentConfig:
                 )
         if not 0.0 <= self.fault_rate <= 1.0:
             raise ValueError("fault_rate must be in [0, 1]")
+        if any(size < 1 for size in self.fleet_sizes):
+            raise ValueError("fleet_sizes entries must be >= 1")
+        if not self.routing_policies:
+            raise ValueError("routing_policies must be non-empty")
+        for policy in self.routing_policies:
+            if policy not in ROUTING_POLICIES:
+                raise ValueError(
+                    f"unknown routing policy {policy!r}; "
+                    f"expected one of {ROUTING_POLICIES}"
+                )
+        if self.fleet_sizes:
+            # The fleet axis owns the store model (one private tracker per
+            # replica) and the request stream (per-replica relabelling), so
+            # it stays orthogonal to the tiered-store and fault axes.
+            if self.store_capacity_chunks:
+                raise ValueError(
+                    "fleet_sizes and store_capacity_chunks are mutually "
+                    "exclusive sweep axes"
+                )
+            if self.fault_rate > 0.0:
+                raise ValueError(
+                    "fleet_sizes and fault_rate are mutually exclusive sweep axes"
+                )
         if any(capacity < 1 for capacity in self.store_capacity_chunks):
             raise ValueError("store_capacity_chunks entries must be >= 1")
         if self.store_slow_capacity_factor < 1.0:
@@ -226,6 +260,17 @@ class CellResult:
     fault_rate: float = 0.0
     fault_recovered_chunks: int = 0
     fault_ttft_inflation: float | None = None
+    #: Fleet axis columns (``None`` when the axis is off): the routing
+    #: policy and replica count this cell ran under, the served throughput
+    #: across all replicas, each replica's private-store hit rate, the
+    #: fleet-wide hit rate, and the max/mean replica busy share (1.0 is a
+    #: perfectly even fleet).
+    routing_policy: str | None = None
+    n_replicas: int | None = None
+    aggregate_throughput: float | None = None
+    per_replica_hit_rates: list[float] | None = None
+    fleet_hit_rate: float | None = None
+    utilisation_skew: float | None = None
 
     def as_dict(self) -> dict[str, object]:
         return asdict(self)
@@ -253,14 +298,17 @@ class ExperimentRunner:
         self,
         calibration: OnlineCostCalibration | None = None,
         admission_policy: str = "none",
+        n_servers: int | None = None,
     ) -> Scheduler:
+        if n_servers is None:
+            n_servers = self.config.n_servers
         if self.config.scheduler == "fcfs":
-            return FCFSScheduler(n_servers=self.config.n_servers)
+            return FCFSScheduler(n_servers=n_servers)
         # When measured pacing is on, the same calibration paces every cell's
         # decode iterations, so the measured rate shifts all schemes
         # identically and the scheme-vs-scheme comparisons stay fair.
         return ContinuousBatchingScheduler(
-            n_servers=self.config.n_servers,
+            n_servers=n_servers,
             max_batch_tokens=self.config.max_batch_tokens,
             prefill_chunk_tokens=self.config.prefill_chunk_tokens,
             overlap_loads=self.config.overlap_loads,
@@ -382,6 +430,67 @@ class ExperimentRunner:
                 )
         return cell
 
+    def run_fleet_cell(
+        self,
+        requests: list[GenerationRequest],
+        chunk_ids_per_request: list[list[int]],
+        model: str,
+        device: str,
+        scheme: str,
+        recompute_ratio: float,
+        routing_policy: str,
+        n_replicas: int,
+        calibration: OnlineCostCalibration | None = None,
+        admission_policy: str = "none",
+    ) -> CellResult:
+        """Serve the workload over a fleet of *n_replicas* replicas.
+
+        Each replica wraps its own engine (scheme/model/device as the cell)
+        and a private chunk store of ``cache_chunk_capacity`` entries; the
+        *routing_policy* decides placement from the workload's chunk access
+        trace.  Cached/prefix fractions are relabelled per replica (the
+        global workload labels describe a shared store), so the routing
+        policy's chunk-locality quality shows up directly in hit rates and
+        TTFT.  Aggregation treats the fleet as ``n_replicas`` servers.
+        """
+        needs_device = scheme in ("full_reuse", "cacheblend")
+
+        def engine_factory(replica_id: int) -> InferenceEngine:
+            cost_model = ServingCostModel(get_config(model), calibration=calibration)
+            return InferenceEngine(
+                cost_model,
+                scheme=scheme,
+                device=get_device(device) if needs_device else None,
+                recompute_ratio=recompute_ratio,
+            )
+
+        fleet = simulate_fleet(
+            requests,
+            chunk_ids_per_request,
+            policy=routing_policy,
+            n_replicas=n_replicas,
+            engine_factory=engine_factory,
+            scheduler_factory=lambda replica_id: self._build_scheduler(
+                calibration, admission_policy, n_servers=1
+            ),
+            store_capacity_chunks=self.config.cache_chunk_capacity,
+        )
+        cell = self._aggregate(
+            model, device, scheme, recompute_ratio,
+            fleet.requests, fleet.results, fleet.timings,
+            admission_policy=admission_policy,
+            n_servers=n_replicas,
+        )
+        return replace(
+            cell,
+            routing_policy=routing_policy,
+            n_replicas=n_replicas,
+            aggregate_throughput=cell.throughput,
+            per_replica_hit_rates=list(fleet.per_replica_hit_rates),
+            fleet_hit_rate=fleet.aggregate_hit_rate,
+            utilisation_skew=fleet.utilisation_skew,
+        )
+
     def _aggregate(
         self,
         model: str,
@@ -392,6 +501,7 @@ class ExperimentRunner:
         results,
         timings: list[RequestTiming],
         admission_policy: str = "none",
+        n_servers: int | None = None,
     ) -> CellResult:
         # Rejected requests never occupy a server, so the service-quality
         # aggregates (TTFT percentiles, throughput, utilisation) cover the
@@ -438,7 +548,10 @@ class ExperimentRunner:
         served_results = [result for _, result, _ in served]
         served_timings = [timing for _, _, timing in served]
         summary = summarise_run(
-            served_requests, served_results, served_timings, self.config.n_servers
+            served_requests,
+            served_results,
+            served_timings,
+            n_servers if n_servers is not None else self.config.n_servers,
         )
         decode_rates = [
             (request.n_output_tokens - 1) / span
@@ -503,6 +616,47 @@ class ExperimentRunner:
             )
 
         requests, workload_stats, generator = self._generate_workload()
+
+        # Fleet axis: route the same stream over n_replicas × routing_policy
+        # fleets instead of the single-server store sweep.  The per-policy
+        # saturation story lives in the routing comparisons (affinity vs
+        # least-loaded hit-rate gain, utilisation skew, tail TTFT).
+        if self.config.fleet_sizes:
+            chunk_ids_per_request = [
+                chunk_ids for chunk_ids, _ in generator.last_chunk_accesses
+            ]
+            fleet_cells: list[CellResult] = []
+            for n_replicas in self.config.fleet_sizes:
+                for routing_policy in self.config.routing_policies:
+                    for model in self.config.models:
+                        for device in self.config.devices:
+                            for scheme in self.config.schemes:
+                                for policy in self.config.admission_policies:
+                                    ratio_dependent = scheme == "cacheblend"
+                                    base: CellResult | None = None
+                                    for ratio in self.config.recompute_ratios:
+                                        if ratio_dependent or base is None:
+                                            base = self.run_fleet_cell(
+                                                requests,
+                                                chunk_ids_per_request,
+                                                model, device, scheme, ratio,
+                                                routing_policy=routing_policy,
+                                                n_replicas=n_replicas,
+                                                calibration=calibration,
+                                                admission_policy=policy,
+                                            )
+                                            fleet_cells.append(base)
+                                        else:
+                                            fleet_cells.append(
+                                                replace(base, recompute_ratio=ratio)
+                                            )
+            return ExperimentReport(
+                config=self.config,
+                workload=workload_stats,
+                cells=fleet_cells,
+                comparisons=build_comparisons(fleet_cells),
+                proxy=proxy,
+            )
 
         # The store-capacity axis replays the same access trace through a
         # RAM→slow tiered store per capacity; each point serves requests
@@ -589,7 +743,7 @@ def build_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
     faster but degrades generation quality, so its TTFT is inflated by the
     quality deficit before the comparison (see module docstring).
     """
-    by_key: dict[tuple[str, str, float, int, str], dict[str, CellResult]] = {}
+    by_key: dict[tuple, dict[str, CellResult]] = {}
     for cell in cells:
         capacity_key = (
             cell.store_capacity_chunks if cell.store_capacity_chunks is not None else -1
@@ -601,13 +755,16 @@ def build_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
                 cell.recompute_ratio,
                 capacity_key,
                 cell.admission_policy,
+                cell.routing_policy,
+                cell.n_replicas,
             ),
             {},
         )[cell.scheme] = cell
     comparisons: list[dict[str, object]] = []
-    for (model, device, ratio, capacity_key, policy), schemes in sorted(
-        by_key.items()
+    for key, schemes in sorted(
+        by_key.items(), key=lambda item: tuple(map(str, item[0]))
     ):
+        model, device, ratio, capacity_key, policy, routing, n_replicas = key
         blend = schemes.get("cacheblend")
         if blend is None:
             continue
@@ -619,6 +776,10 @@ def build_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
         }
         if policy != "none":
             row["admission_policy"] = policy
+        if routing is not None:
+            row["routing_policy"] = routing
+            row["n_replicas"] = n_replicas
+            row["fleet_hit_rate"] = blend.fleet_hit_rate
         if capacity_key >= 0:
             row["store_capacity_chunks"] = capacity_key
             row["store_hit_rate"] = blend.store_hit_rate
@@ -640,7 +801,66 @@ def build_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
             row["prefix_caching_mean_ttft"] = prefix.mean_ttft
         comparisons.append(row)
     comparisons.extend(build_admission_comparisons(cells))
+    comparisons.extend(build_routing_comparisons(cells))
     return comparisons
+
+
+def build_routing_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
+    """Per (model, device, scheme, ratio, n_replicas): policy vs least-loaded.
+
+    Pairs every affinity-aware fleet cell (``affinity``/``consistent_hash``)
+    with its ``least_loaded`` twin at the same replica count and reports the
+    headline number of the fleet experiments: the aggregate hit-rate gain of
+    chunk-affine placement at equal request rate — alongside the utilisation
+    skew and tail-TTFT cost it was bought at.
+    """
+    by_point: dict[tuple, dict[str, CellResult]] = {}
+    for cell in cells:
+        if cell.routing_policy is None:
+            continue
+        key = (
+            cell.model,
+            cell.device,
+            cell.scheme,
+            cell.recompute_ratio,
+            cell.admission_policy,
+            cell.n_replicas,
+        )
+        by_point.setdefault(key, {})[cell.routing_policy] = cell
+    rows: list[dict[str, object]] = []
+    for key, policies in sorted(by_point.items(), key=lambda item: tuple(map(str, item[0]))):
+        model, device, scheme, ratio, admission, n_replicas = key
+        baseline = policies.get("least_loaded")
+        if baseline is None:
+            continue
+        for routing in ("affinity", "consistent_hash"):
+            cell = policies.get(routing)
+            if cell is None:
+                continue
+            base_hit = baseline.fleet_hit_rate or 0.0
+            rows.append(
+                {
+                    "comparison": f"routing_{routing}_vs_least_loaded",
+                    "model": model,
+                    "device": device,
+                    "scheme": scheme,
+                    "recompute_ratio": ratio,
+                    "n_replicas": n_replicas,
+                    "fleet_hit_rate_least_loaded": base_hit,
+                    f"fleet_hit_rate_{routing}": cell.fleet_hit_rate,
+                    "hit_rate_gain": (cell.fleet_hit_rate or 0.0) - base_hit,
+                    "utilisation_skew_least_loaded": baseline.utilisation_skew,
+                    f"utilisation_skew_{routing}": cell.utilisation_skew,
+                    "p99_ttft_least_loaded": baseline.p99_ttft,
+                    f"p99_ttft_{routing}": cell.p99_ttft,
+                    "aggregate_throughput_least_loaded": baseline.aggregate_throughput,
+                    f"aggregate_throughput_{routing}": cell.aggregate_throughput,
+                    f"{routing}_beats_least_loaded_hit_rate": (
+                        (cell.fleet_hit_rate or 0.0) > base_hit
+                    ),
+                }
+            )
+    return rows
 
 
 def build_admission_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
@@ -660,10 +880,12 @@ def build_admission_comparisons(cells: list[CellResult]) -> list[dict[str, objec
             cell.scheme,
             cell.recompute_ratio,
             cell.store_capacity_chunks,
+            cell.routing_policy,
+            cell.n_replicas,
         )
         by_point.setdefault(key, {})[cell.admission_policy] = cell
     rows: list[dict[str, object]] = []
-    for (model, device, scheme, ratio, _capacity), policies in by_point.items():
+    for (model, device, scheme, ratio, _capacity, _routing, _size), policies in by_point.items():
         plain, slo = policies.get("none"), policies.get("slo")
         if plain is None or slo is None:
             continue

@@ -51,8 +51,11 @@ from repro.model.transformer import TransformerModel
 #: scheduler pause/resume round-trip on a live decode session: extract the
 #: victim's decode state, free its slot, re-join it and take one lock-step
 #: step — the per-preemption overhead of the SLO scheduler's decode
-#: preemption).
-PROFILE_SCHEMA_VERSION = 5
+#: preemption); v6 adds ``routing_decision`` (affinity-scored placement of
+#: one request over a warmed 4-replica fleet — the router tier's per-request
+#: overhead) and the top-level ``fleet`` block with per-policy decision
+#: timings.
+PROFILE_SCHEMA_VERSION = 6
 
 _REQUIRED_OPS = (
     "chunk_prefill",
@@ -64,6 +67,7 @@ _REQUIRED_OPS = (
     "decode_session",
     "preempt_resume",
     "store_lookup",
+    "routing_decision",
     "serialize_kv",
     "deserialize_kv",
 )
@@ -529,6 +533,96 @@ def measure_store_ops(
     return ops, block
 
 
+def measure_routing_ops(
+    config: "ProfileConfig", rng: np.random.Generator
+) -> tuple[dict[str, dict[str, float | int]], dict[str, object]]:
+    """Time fleet routing decisions over a warmed 4-replica fleet.
+
+    The fleet is warmed by routing (and placing) a Zipf-popular request
+    stream through each policy's own router, so every replica's private
+    store holds the resident/hotness state a steady-state fleet would.  One
+    ``routing_decision`` sample then routes a fresh batch of requests
+    *without* placing them — pure decisions on frozen fleet state, so timed
+    repeats are identical work.  The gated op is the ``affinity`` policy
+    (the most expensive: it scans every replica's resident set per
+    decision); the ``fleet`` block reports all three policies side by side.
+    """
+    from repro.kvstore.store import ChunkUsageTracker
+    from repro.serving.request import GenerationRequest
+    from repro.serving.router import ROUTING_POLICIES, Replica, build_router
+
+    n_replicas = 4
+    n_unique_chunks = 128
+    n_warm = 128
+    n_decisions = 64
+    store_capacity = 48
+    ranks = np.arange(1, n_unique_chunks + 1, dtype=np.float64)
+    popularity = ranks ** -1.0
+    popularity /= popularity.sum()
+
+    def draw_chunks() -> list[int]:
+        n_chunks = int(rng.integers(3, 7))
+        return [
+            int(chunk)
+            for chunk in rng.choice(
+                n_unique_chunks, size=n_chunks, replace=False, p=popularity
+            )
+        ]
+
+    warm_sets = [draw_chunks() for _ in range(n_warm)]
+    decision_sets = [draw_chunks() for _ in range(n_decisions)]
+    warm_requests = [
+        GenerationRequest(request_id=i, arrival_time=float(i)) for i in range(n_warm)
+    ]
+    decision_requests = [
+        GenerationRequest(request_id=n_warm + i, arrival_time=float(n_warm + i))
+        for i in range(n_decisions)
+    ]
+
+    ops: dict[str, dict[str, float | int]] = {}
+    per_policy: dict[str, object] = {}
+    for policy in ROUTING_POLICIES:
+        router = build_router(policy, n_replicas)
+        replicas = [
+            Replica(
+                replica_id=r,
+                store=ChunkUsageTracker(capacity_entries=store_capacity),
+            )
+            for r in range(n_replicas)
+        ]
+        for request, chunks in zip(warm_requests, warm_sets):
+            home = router.route(request, chunks, replicas)
+            replicas[home].place(request.request_id, request, chunks)
+
+        placements = [0] * n_replicas
+
+        def run_decisions() -> None:
+            for request, chunks in zip(decision_requests, decision_sets):
+                placements[router.route(request, chunks, replicas)] += 1
+
+        timing = _time_op(run_decisions, config.repeats, config.warmup)
+        per_policy[policy] = {
+            "decision_s": float(timing["min_s"]) / n_decisions,
+            "min_s": timing["min_s"],
+            # Placement spread of the timed decisions (identical every
+            # repeat; counts cover warmup + timed runs).
+            "placement_counts": list(placements),
+        }
+        if policy == "affinity":
+            ops["routing_decision"] = timing
+
+    block: dict[str, object] = {
+        "n_replicas": n_replicas,
+        "n_warm_requests": n_warm,
+        "n_decisions": n_decisions,
+        "n_unique_chunks": n_unique_chunks,
+        "store_capacity_chunks": store_capacity,
+        "gated_policy": "affinity",
+        "policies": per_policy,
+    }
+    return ops, block
+
+
 def measure_decode_scaling(
     model: TransformerModel,
     prompt_tokens: int = 16,
@@ -616,6 +710,10 @@ def run_profile(config: ProfileConfig | None = None) -> dict[str, object]:
     store_ops, store_block = measure_store_ops(model, config, rng)
     ops.update(store_ops)
 
+    # ---- fleet routing decisions -----------------------------------------
+    routing_ops, fleet_block = measure_routing_ops(config, rng)
+    ops.update(routing_ops)
+
     # ---- session vs batched vs sequential decode + scaling ---------------
     decode_ops, decode_block = measure_decode_ops(model, config, rng)
     ops.update(decode_ops)
@@ -635,6 +733,7 @@ def run_profile(config: ProfileConfig | None = None) -> dict[str, object]:
         "ops": ops,
         "decode": decode_block,
         "store": store_block,
+        "fleet": fleet_block,
         "pipeline": {
             "n_layers": model.config.n_layers,
             "n_tokens": int(fused.n_tokens),
@@ -665,6 +764,7 @@ def validate_profile_report(document: dict[str, object]) -> None:
         "ops",
         "decode",
         "store",
+        "fleet",
         "pipeline",
     ):
         if key not in document:
@@ -730,6 +830,23 @@ def validate_profile_report(document: dict[str, object]) -> None:
         raise ValueError("store bytes_stored must be positive")
     if store["dedup_ratio"] < 1.0:
         raise ValueError("store dedup_ratio must be >= 1 (trie never inflates)")
+    fleet = document["fleet"]
+    for key in ("n_replicas", "n_decisions", "gated_policy", "policies"):
+        if key not in fleet:
+            raise ValueError(f"fleet block is missing key {key!r}")
+    if fleet["n_replicas"] < 1:
+        raise ValueError("fleet n_replicas must be >= 1")
+    policies = fleet["policies"]
+    if fleet["gated_policy"] not in policies:
+        raise ValueError("fleet gated_policy must appear in the policies block")
+    for policy, stats in policies.items():
+        if stats["decision_s"] < 0:
+            raise ValueError(f"fleet policy {policy!r} has a negative decision time")
+        counts = stats["placement_counts"]
+        if len(counts) != fleet["n_replicas"]:
+            raise ValueError(
+                f"fleet policy {policy!r} needs one placement count per replica"
+            )
 
 
 def profile_filename(tag: str = "") -> str:
@@ -761,6 +878,7 @@ def check_against_baseline(
         "decode_session",
         "preempt_resume",
         "store_lookup",
+        "routing_decision",
     ),
 ) -> list[str]:
     """Compare *document* against a checked-in *baseline*; returns failures.
@@ -774,8 +892,10 @@ def check_against_baseline(
     the session decode wall-clock (``decode_session``, the serving loop's
     steady-state path), the preemption round-trip (``preempt_resume``, the
     SLO scheduler's per-preemption overhead) *and* the tiered trie lookup
-    (``store_lookup``, the gather path's store work); ops absent from an
-    older baseline are skipped.
+    (``store_lookup``, the gather path's store work) and the fleet routing
+    decision (``routing_decision``, the router tier's per-request overhead
+    under the affinity policy); ops absent from an older baseline are
+    skipped.
     """
     failures: list[str] = []
     base_ops = baseline.get("ops", {})
@@ -839,6 +959,15 @@ def format_profile_summary(document: dict[str, object]) -> str:
         f"{store['logical_bytes'] / 1e6:.2f} MB logical "
         f"({store['dedup_ratio']:.2f}x dedup, "
         f"{store['slow_tier_hits']} slow-tier hits)"
+    )
+    fleet = document["fleet"]
+    lines.append(
+        f"fleet routing ({fleet['n_replicas']} replicas, "
+        f"{fleet['n_decisions']} decisions): "
+        + ", ".join(
+            f"{policy}: {stats['decision_s'] * 1e6:.1f} us/decision"
+            for policy, stats in fleet["policies"].items()
+        )
     )
     width = decode["width_scaling"]
     lines.append(

@@ -35,8 +35,11 @@ from repro.bench.experiment import ExperimentReport
 #: columns: ``admission_policy``, ``goodput``, ``slo_attainment``,
 #: ``rejection_rate``, ``preemption_count`` and the fault axis
 #: (``fault_rate``, ``fault_recovered_chunks``, ``fault_ttft_inflation`` —
-#: the inflation is null when faults are off).
-SCHEMA_VERSION = 4
+#: the inflation is null when faults are off); v5 adds the fleet axis
+#: columns (``routing_policy``, ``n_replicas``, ``aggregate_throughput``,
+#: ``per_replica_hit_rates``, ``fleet_hit_rate``, ``utilisation_skew`` —
+#: null when the sweep runs without ``fleet_sizes``).
+SCHEMA_VERSION = 5
 
 _REQUIRED_TOP_LEVEL = ("schema_version", "created", "tag", "config", "workload", "cells")
 _REQUIRED_CELL_FIELDS = (
@@ -65,6 +68,12 @@ _REQUIRED_CELL_FIELDS = (
     "fault_rate",
     "fault_recovered_chunks",
     "fault_ttft_inflation",
+    "routing_policy",
+    "n_replicas",
+    "aggregate_throughput",
+    "per_replica_hit_rates",
+    "fleet_hit_rate",
+    "utilisation_skew",
 )
 
 
@@ -120,6 +129,30 @@ def validate_report(document: dict[str, object]) -> None:
         inflation = cell["fault_ttft_inflation"]
         if inflation is not None and inflation <= 0.0:
             raise ValueError(f"cell {i} has a non-positive fault TTFT inflation")
+        routing = cell["routing_policy"]
+        if routing is not None:
+            n_replicas = cell["n_replicas"]
+            if not isinstance(n_replicas, int) or n_replicas < 1:
+                raise ValueError(f"fleet cell {i} needs n_replicas >= 1")
+            per_replica = cell["per_replica_hit_rates"]
+            if not isinstance(per_replica, list) or len(per_replica) != n_replicas:
+                raise ValueError(
+                    f"fleet cell {i} needs one per_replica_hit_rates entry per replica"
+                )
+            for rate in per_replica:
+                if not 0.0 <= rate <= 1.0:
+                    raise ValueError(
+                        f"fleet cell {i} has an out-of-range per-replica hit rate"
+                    )
+            fleet_hit_rate = cell["fleet_hit_rate"]
+            if fleet_hit_rate is None or not 0.0 <= fleet_hit_rate <= 1.0:
+                raise ValueError(f"fleet cell {i} has an out-of-range fleet hit rate")
+            skew = cell["utilisation_skew"]
+            if skew is None or skew < 1.0 - 1e-9:
+                raise ValueError(f"fleet cell {i} has a utilisation skew below 1")
+            throughput = cell["aggregate_throughput"]
+            if throughput is None or throughput < 0.0:
+                raise ValueError(f"fleet cell {i} has a negative aggregate throughput")
     comparisons = document.get("comparisons", [])
     if not isinstance(comparisons, list):
         raise ValueError("'comparisons' must be a list")
@@ -154,9 +187,13 @@ def format_summary(document: dict[str, object]) -> str:
         f"{'reuse qa-ttft':>14} {'speedup':>8}",
     ]
     admission_rows = []
+    routing_rows = []
     for row in document.get("comparisons", []):
         if row.get("comparison") == "admission_vs_none":
             admission_rows.append(row)
+            continue
+        if str(row.get("comparison", "")).startswith("routing_"):
+            routing_rows.append(row)
             continue
         lines.append(
             f"{row['model']:<12} {row['device']:<10} "
@@ -174,6 +211,22 @@ def format_summary(document: dict[str, object]) -> str:
             f"({row['goodput_gain']:.2f}x), rejected "
             f"{row['rejection_rate'] * 100:.0f}%, "
             f"{row['preemption_count']} preemptions"
+        )
+    for row in routing_rows:
+        if row["scheme"] != "cacheblend":
+            continue
+        routing = str(row["comparison"]).removeprefix("routing_").removesuffix(
+            "_vs_least_loaded"
+        )
+        lines.append(
+            f"fleet x{row['n_replicas']} ({row['model']}/{row['device']}): "
+            f"{routing} hit rate {row[f'fleet_hit_rate_{routing}']:.3f} vs "
+            f"least_loaded {row['fleet_hit_rate_least_loaded']:.3f} "
+            f"(gain {row['hit_rate_gain']:+.3f}), skew "
+            f"{row[f'utilisation_skew_{routing}']:.2f} vs "
+            f"{row['utilisation_skew_least_loaded']:.2f}, p99 TTFT "
+            f"{row[f'p99_ttft_{routing}']:.3f}s vs "
+            f"{row['p99_ttft_least_loaded']:.3f}s"
         )
     proxy = document.get("proxy")
     if proxy and proxy.get("measured_ttfts"):

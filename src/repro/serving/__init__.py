@@ -17,6 +17,17 @@ from repro.serving.scheduler import (
     FCFSScheduler,
     Scheduler,
 )
+from repro.serving.router import (
+    ROUTING_POLICIES,
+    AffinityRouter,
+    ConsistentHashRouter,
+    FleetRun,
+    LeastLoadedRouter,
+    Replica,
+    Router,
+    build_router,
+    simulate_fleet,
+)
 from repro.serving.simulator import LoadSimulator, SimulationResult, WorkloadSpec
 
 __all__ = [
@@ -32,4 +43,13 @@ __all__ = [
     "LoadSimulator",
     "SimulationResult",
     "WorkloadSpec",
+    "ROUTING_POLICIES",
+    "Router",
+    "Replica",
+    "LeastLoadedRouter",
+    "ConsistentHashRouter",
+    "AffinityRouter",
+    "build_router",
+    "FleetRun",
+    "simulate_fleet",
 ]

@@ -293,7 +293,7 @@ class ContinuousBatchingScheduler:
             if (
                 self.admission_control
                 and candidate.deadline_s is not None
-                and not self._admission_check(candidate, result, clock, batch)
+                and not self._admission_check(candidate, result, clock, batch, waiting)
             ):
                 index = pending.popleft()
                 timing_by_index[index] = RequestTiming(
@@ -322,10 +322,22 @@ class ContinuousBatchingScheduler:
         result: EngineResult,
         clock: float,
         batch: list[_RunningRequest],
+        waiting: deque[_RunningRequest] | None = None,
     ) -> bool:
-        """Would *candidate*'s first token plausibly arrive within its SLO?"""
+        """Would *candidate*'s first token plausibly arrive within its SLO?
+
+        *waiting* is the server's paused deque.  Preempted decodes resume
+        FIFO **ahead of** new admissions, so their remaining decode backlog
+        delays the candidate exactly like the active batch's does — ignoring
+        them (the pre-fix behaviour) made predictions optimistic whenever a
+        preemption had just happened, admitting requests that were already
+        guaranteed to miss their SLO.
+        """
+        paused = list(waiting) if waiting else []
         decoding = [
-            r for r in batch if r.remaining_prefill <= 0.0 and r.decode_steps_left > 0
+            r
+            for r in [*batch, *paused]
+            if r.remaining_prefill <= 0.0 and r.decode_steps_left > 0
         ]
         n_prefill_iters = max(
             1, -(-candidate.n_total_tokens // self.prefill_chunk_tokens)
@@ -336,7 +348,7 @@ class ContinuousBatchingScheduler:
         predicted = predict_first_token_time(
             ttft_service=result.ttft_service,
             n_prefill_iters=n_prefill_iters,
-            prefill_backlog_s=sum(r.remaining_prefill for r in batch),
+            prefill_backlog_s=sum(r.remaining_prefill for r in [*batch, *paused]),
             n_decoding=len(decoding),
             calibration=self.decode_calibration,
             analytic_decode_step_s=analytic_step,

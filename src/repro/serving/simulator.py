@@ -37,6 +37,10 @@ class RunSummary:
     #: Mean trace-calibrated pipeline delay (``EngineResult.ttft_service_measured``)
     #: when the engine carried a ready measured calibration; ``None`` otherwise.
     mean_ttft_service_measured: float | None = None
+    #: Requests the admission controller turned away.  Their timings stay in
+    #: the scheduler's output, but they contribute nothing to the TTFT
+    #: percentiles, queueing mean, throughput, or busy time above.
+    n_rejected: int = 0
 
 
 def summarise_run(
@@ -45,14 +49,48 @@ def summarise_run(
     timings: list[RequestTiming],
     n_servers: int,
 ) -> RunSummary:
-    """Aggregate TTFT percentiles, throughput and GPU utilisation."""
-    ttfts = np.array([t.ttft for t in timings])
-    queueing = np.array([t.queueing_delay for t in timings])
+    """Aggregate TTFT percentiles, throughput and GPU utilisation.
+
+    Rejected requests (``RequestTiming.rejected``) are excluded from every
+    served-side statistic: their timestamps all equal the rejection instant
+    (a TTFT of ~0 would drag the percentiles down) and their
+    :class:`EngineResult` describes service that never happened (counting its
+    occupancy would inflate busy time).  They still bound the makespan —
+    wall-clock ran while they were shed.
+
+    ``gpu_utilisation`` is reported *unclamped*: with co-batched decode the
+    per-request occupancy model can legitimately sum past ``n_servers *
+    makespan`` by a hair, and a silent ``min(1.0, ...)`` would mask genuine
+    overcommit bugs.  Tests assert ``<= 1 + eps`` where boundedness holds.
+    """
+    served = [
+        (req, res, t)
+        for req, res, t in zip(requests, results, timings)
+        if not t.rejected
+    ]
+    n_rejected = len(timings) - len(served)
     makespan = max(t.completion_time for t in timings) - min(
         r.arrival_time for r in requests
     )
-    busy = sum(max(res.ttft_service, res.gpu_time) + res.decode_time for res in results)
-    measured = [res.ttft_service_measured for res in results]
+    if not served:
+        return RunSummary(
+            mean_ttft=0.0,
+            p50_ttft=0.0,
+            p90_ttft=0.0,
+            p99_ttft=0.0,
+            mean_queueing=0.0,
+            throughput=0.0,
+            gpu_utilisation=0.0,
+            makespan=makespan,
+            mean_ttft_service_measured=None,
+            n_rejected=n_rejected,
+        )
+    ttfts = np.array([t.ttft for _, _, t in served])
+    queueing = np.array([t.queueing_delay for _, _, t in served])
+    busy = sum(
+        max(res.ttft_service, res.gpu_time) + res.decode_time for _, res, _ in served
+    )
+    measured = [res.ttft_service_measured for _, res, _ in served]
     mean_measured = (
         float(np.mean([m for m in measured if m is not None]))
         if any(m is not None for m in measured)
@@ -64,12 +102,11 @@ def summarise_run(
         p90_ttft=float(np.percentile(ttfts, 90)),
         p99_ttft=float(np.percentile(ttfts, 99)),
         mean_queueing=float(queueing.mean()),
-        throughput=len(requests) / makespan if makespan > 0 else float("inf"),
-        gpu_utilisation=(
-            min(1.0, busy / (n_servers * makespan)) if makespan > 0 else 1.0
-        ),
+        throughput=len(served) / makespan if makespan > 0 else float("inf"),
+        gpu_utilisation=busy / (n_servers * makespan) if makespan > 0 else 1.0,
         makespan=makespan,
         mean_ttft_service_measured=mean_measured,
+        n_rejected=n_rejected,
     )
 
 
@@ -83,6 +120,10 @@ class WorkloadSpec:
     n_output_tokens: int = 32
     cached_chunk_fraction: float = 1.0
     prefix_cached_fraction: float = 0.17
+    #: Optional TTFT SLO stamped onto every generated request as
+    #: ``deadline_s`` — makes the simulator exercise admission control when
+    #: paired with ``ContinuousBatchingScheduler(admission_control=True)``.
+    ttft_slo_s: float | None = None
 
 
 @dataclass
@@ -101,6 +142,9 @@ class SimulationResult:
     #: Mean measured (trace-calibrated) pipeline delay; ``None`` without a
     #: ready :class:`~repro.serving.costmodel.OnlineCostCalibration`.
     mean_ttft_service_measured: float | None = None
+    #: Requests rejected by admission control; present in :attr:`timings`
+    #: (flagged ``rejected``) but excluded from the aggregate metrics above.
+    n_rejected: int = 0
     timings: list[RequestTiming] = field(default_factory=list, repr=False)
 
 
@@ -139,6 +183,7 @@ class LoadSimulator:
                 arrival_time=float(arrivals[i]),
                 cached_chunk_fraction=self.workload.cached_chunk_fraction,
                 prefix_cached_fraction=self.workload.prefix_cached_fraction,
+                deadline_s=self.workload.ttft_slo_s,
             )
             for i in range(n_requests)
         ]
@@ -161,6 +206,7 @@ class LoadSimulator:
             throughput=summary.throughput,
             gpu_utilisation=summary.gpu_utilisation,
             mean_ttft_service_measured=summary.mean_ttft_service_measured,
+            n_rejected=summary.n_rejected,
             timings=timings,
         )
 

@@ -249,6 +249,54 @@ class TestPreemption:
         assert all(t.completion_time >= t.first_token_time - 1e-9 for t in timings)
 
 
+class TestPausedBacklogAdmission:
+    """Regression: the admission predictor must see the paused deque.
+
+    Preempted decodes resume FIFO ahead of new admissions, so their
+    remaining decode backlog delays a candidate's first token exactly like
+    the active batch's does.  The pre-fix ``_admission_check`` ignored the
+    paused deque entirely, making predictions optimistic right after a
+    preemption — the second assertion below fails on that behaviour.
+    """
+
+    def _paused_decode(self, scheduler: ContinuousBatchingScheduler):
+        # A decode-phase request (first token banked, 40 steps of 0.1s
+        # left), as _preempt_for would park it on the paused deque.
+        running = scheduler._make_running(
+            0, _request(0, n_output_tokens=41), _result(ttft=1.0, decode=4.0), 0.0
+        )
+        running.remaining_prefill = 0.0
+        return running
+
+    def test_paused_decode_backlog_counts_against_the_deadline(self):
+        from collections import deque
+
+        scheduler = ContinuousBatchingScheduler(n_servers=1, admission_control=True)
+        candidate = _request(1, deadline=1.15)
+        result = _result(ttft=1.0)
+        # Empty server: the candidate's first token is its own 1.0s prefill.
+        assert scheduler._admission_check(candidate, result, 0.0, [], deque())
+        # Same instant, but a paused decode will re-join ahead of the
+        # candidate: each of the 3 prefill iterations now pays one 0.1s
+        # co-batched decode step, predicting 1.3s > the 1.15s deadline.
+        paused = deque([self._paused_decode(scheduler)])
+        assert not scheduler._admission_check(candidate, result, 0.0, [], paused)
+
+    def test_paused_and_active_decodes_are_priced_alike(self):
+        from collections import deque
+
+        scheduler = ContinuousBatchingScheduler(n_servers=1, admission_control=True)
+        candidate = _request(1, deadline=1.15)
+        result = _result(ttft=1.0)
+        as_active = scheduler._admission_check(
+            candidate, result, 0.0, [self._paused_decode(scheduler)], deque()
+        )
+        as_paused = scheduler._admission_check(
+            candidate, result, 0.0, [], deque([self._paused_decode(scheduler)])
+        )
+        assert as_active == as_paused
+
+
 class TestOverloadGoodput:
     """2x overload: admission + preemption >= plain scheduling on goodput."""
 

@@ -404,6 +404,138 @@ class TestFaultAxis:
         validate_report(report_to_dict(fault_report, tag="faults"))
 
 
+class TestFleetAxis:
+    """The fleet sweep axis: n_servers x routing_policy cells, schema v5."""
+
+    @pytest.fixture(scope="class")
+    def fleet_report(self):
+        config = ExperimentConfig(
+            models=("mistral-7b",),
+            devices=("nvme_ssd",),
+            schemes=("cacheblend",),
+            n_requests=60,
+            fleet_sizes=(2, 4),
+            seed=0,
+        )
+        return ExperimentRunner(config).run()
+
+    def test_one_cell_per_size_and_policy(self, fleet_report):
+        config = fleet_report.config
+        expected = (
+            len(config.fleet_sizes)
+            * len(config.routing_policies)
+            * len(config.models)
+            * len(config.devices)
+            * len(config.schemes)
+            * len(config.recompute_ratios)
+        )
+        assert len(fleet_report.cells) == expected
+
+    def test_cells_carry_the_fleet_columns(self, fleet_report):
+        for cell in fleet_report.cells:
+            assert cell.routing_policy in ("least_loaded", "consistent_hash", "affinity")
+            assert cell.n_replicas in (2, 4)
+            assert cell.aggregate_throughput == cell.throughput
+            assert len(cell.per_replica_hit_rates) == cell.n_replicas
+            assert 0.0 <= cell.fleet_hit_rate <= 1.0
+            assert cell.utilisation_skew >= 1.0 - 1e-9
+
+    def test_affinity_beats_least_loaded_at_4_replicas(self, fleet_report):
+        """The acceptance criterion at sweep level: under the default Zipf
+        workload, affinity's aggregate store hit rate strictly exceeds
+        least-loaded's at the same request rate."""
+        by_policy = {
+            cell.routing_policy: cell
+            for cell in fleet_report.cells
+            if cell.n_replicas == 4
+        }
+        assert (
+            by_policy["affinity"].fleet_hit_rate
+            > by_policy["least_loaded"].fleet_hit_rate
+        )
+
+    def test_routing_comparison_rows(self, fleet_report):
+        rows = [
+            row
+            for row in fleet_report.comparisons
+            if str(row.get("comparison", "")).startswith("routing_")
+        ]
+        # affinity + consistent_hash vs least_loaded, at each of 2 sizes.
+        assert len(rows) == 4
+        for row in rows:
+            routing = (
+                str(row["comparison"])
+                .removeprefix("routing_")
+                .removesuffix("_vs_least_loaded")
+            )
+            assert row["hit_rate_gain"] == pytest.approx(
+                row[f"fleet_hit_rate_{routing}"] - row["fleet_hit_rate_least_loaded"]
+            )
+            assert f"p99_ttft_{routing}" in row
+            assert f"utilisation_skew_{routing}" in row
+
+    def test_document_validates_and_formats(self, fleet_report):
+        from repro.bench.report import format_summary
+
+        document = report_to_dict(fleet_report, tag="fleet")
+        validate_report(document)
+        summary = format_summary(document)
+        assert "fleet x4" in summary
+
+    def test_fleet_columns_are_null_without_the_axis(self, report):
+        for cell in report.cells:
+            assert cell.routing_policy is None
+            assert cell.n_replicas is None
+            assert cell.aggregate_throughput is None
+            assert cell.per_replica_hit_rates is None
+            assert cell.fleet_hit_rate is None
+            assert cell.utilisation_skew is None
+
+    def test_fleet_columns_required_by_the_schema(self, report):
+        for column in (
+            "routing_policy",
+            "n_replicas",
+            "aggregate_throughput",
+            "per_replica_hit_rates",
+            "fleet_hit_rate",
+            "utilisation_skew",
+        ):
+            document = report_to_dict(report, tag="broken")
+            del document["cells"][0][column]
+            with pytest.raises(ValueError):
+                validate_report(document)
+
+    def test_malformed_fleet_cells_rejected(self, fleet_report):
+        document = report_to_dict(fleet_report, tag="broken")
+        document["cells"][0]["per_replica_hit_rates"] = [0.5]  # wrong length
+        with pytest.raises(ValueError):
+            validate_report(document)
+        document = report_to_dict(fleet_report, tag="broken")
+        document["cells"][0]["utilisation_skew"] = 0.2
+        with pytest.raises(ValueError):
+            validate_report(document)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(fleet_sizes=(0,))
+        with pytest.raises(ValueError):
+            ExperimentConfig(fleet_sizes=(2,), routing_policies=("warp_routing",))
+        with pytest.raises(ValueError):
+            ExperimentConfig(fleet_sizes=(2,), store_capacity_chunks=(8,))
+        with pytest.raises(ValueError):
+            ExperimentConfig(fleet_sizes=(2,), fault_rate=0.1)
+
+    def test_cli_flags_reach_the_config(self):
+        from repro.bench.__main__ import build_parser, config_from_args
+
+        args = build_parser().parse_args(
+            ["--fleet-sizes", "2", "4", "--routing-policies", "affinity"]
+        )
+        config = config_from_args(args)
+        assert config.fleet_sizes == (2, 4)
+        assert config.routing_policies == ("affinity",)
+
+
 class TestRobustnessSchema:
     def test_robustness_columns_required_by_the_schema(self, report):
         for column in (

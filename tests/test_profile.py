@@ -137,7 +137,7 @@ class TestDecodeSessionProfile:
 
     def test_session_op_is_timed_and_validated(self, document):
         assert document["ops"]["decode_session"]["min_s"] > 0.0
-        assert document["schema_version"] == 5
+        assert document["schema_version"] == 6
 
     def test_session_amortises_vs_sequential_at_batch_4(self, document):
         decode = document["decode"]

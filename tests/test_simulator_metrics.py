@@ -1,0 +1,208 @@
+"""Rejected-request accounting in the serving metrics.
+
+Regression suite for two accounting bugs: rejected requests used to drag
+the TTFT percentiles toward zero (their timestamps all equal the rejection
+instant) and their never-executed EngineResults used to count as GPU busy
+time; and ``gpu_utilisation`` used to be silently clamped to 1.0, masking
+genuine overcommit.  Both tests fail on the pre-fix behaviour.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.kvstore.device import get_device
+from repro.model.config import get_config
+from repro.serving.costmodel import ServingCostModel
+from repro.serving.engine import EngineResult, InferenceEngine
+from repro.serving.request import GenerationRequest, RequestTiming
+from repro.serving.scheduler import ContinuousBatchingScheduler, FCFSScheduler
+from repro.serving.simulator import LoadSimulator, WorkloadSpec, summarise_run
+
+
+def _request(request_id: int, arrival: float = 0.0) -> GenerationRequest:
+    return GenerationRequest(request_id=request_id, arrival_time=arrival)
+
+
+def _result(ttft: float, decode: float = 0.0) -> EngineResult:
+    return EngineResult(
+        scheme="cacheblend", gpu_time=ttft, ttft_service=ttft, decode_time=decode
+    )
+
+
+def _served(request_id: int, arrival: float, start: float, ttft: float,
+            completion: float) -> RequestTiming:
+    return RequestTiming(
+        request_id=request_id,
+        arrival_time=arrival,
+        start_time=start,
+        first_token_time=arrival + ttft,
+        completion_time=completion,
+    )
+
+
+def _rejected(request_id: int, instant: float) -> RequestTiming:
+    return RequestTiming(
+        request_id=request_id,
+        arrival_time=instant,
+        start_time=instant,
+        first_token_time=instant,
+        completion_time=instant,
+        rejected=True,
+    )
+
+
+class TestRejectedExcludedFromSummary:
+    """The regression: rejections must not leak into served-side metrics."""
+
+    @pytest.fixture()
+    def summary(self):
+        requests = [_request(0), _request(1), _request(2, arrival=0.5)]
+        # The rejected request carries a huge EngineResult: service that
+        # never happened must not count as busy time.
+        results = [_result(1.0), _result(2.0), _result(100.0, decode=100.0)]
+        timings = [
+            _served(0, arrival=0.0, start=0.0, ttft=1.0, completion=1.0),
+            _served(1, arrival=0.0, start=1.0, ttft=2.0, completion=3.0),
+            _rejected(2, instant=0.5),
+        ]
+        return summarise_run(requests, results, timings, n_servers=1)
+
+    def test_ttft_percentiles_cover_served_requests_only(self, summary):
+        # Pre-fix, the rejection's ~0 TTFT dragged the mean to 1.0.
+        assert summary.mean_ttft == pytest.approx(1.5)
+        assert summary.p50_ttft == pytest.approx(1.5)
+        assert summary.p99_ttft <= 2.0 + 1e-9
+
+    def test_rejected_occupancy_is_not_busy_time(self, summary):
+        # Served busy = 1.0 + 2.0 over a makespan of 3.0; the rejection's
+        # 200s EngineResult would have blown utilisation past 60x.
+        assert summary.gpu_utilisation == pytest.approx(3.0 / 3.0)
+
+    def test_rejections_are_counted(self, summary):
+        assert summary.n_rejected == 1
+        assert summary.throughput == pytest.approx(2 / 3.0)
+
+    def test_all_rejected_run_degenerates_cleanly(self):
+        requests = [_request(0), _request(1, arrival=1.0)]
+        results = [_result(5.0), _result(5.0)]
+        timings = [_rejected(0, 0.0), _rejected(1, 1.0)]
+        summary = summarise_run(requests, results, timings, n_servers=1)
+        assert summary.n_rejected == 2
+        assert summary.mean_ttft == 0.0
+        assert summary.throughput == 0.0
+        assert summary.gpu_utilisation == 0.0
+        assert summary.makespan == pytest.approx(1.0)
+
+
+class TestUnclampedUtilisation:
+    def test_overcommit_is_reported_not_clamped(self):
+        # Two requests whose combined occupancy exceeds the single-server
+        # makespan: the pre-fix min(1.0, ...) silently hid this.
+        requests = [_request(0), _request(1)]
+        results = [_result(2.0), _result(2.0)]
+        timings = [
+            _served(0, arrival=0.0, start=0.0, ttft=2.0, completion=2.0),
+            _served(1, arrival=0.0, start=0.0, ttft=2.0, completion=2.0),
+        ]
+        summary = summarise_run(requests, results, timings, n_servers=1)
+        assert summary.gpu_utilisation == pytest.approx(2.0)
+
+    def test_fcfs_utilisation_is_bounded_by_construction(self):
+        """Where occupancy genuinely serialises, the unclamped value still
+        lands in [0, 1] — the clamp never had legitimate work to do."""
+        engine = InferenceEngine(
+            ServingCostModel(get_config("mistral-7b")),
+            scheme="cacheblend",
+            device=get_device("nvme_ssd"),
+        )
+        simulator = LoadSimulator(engine, n_servers=1, seed=3)
+        result = simulator.run(request_rate=2.0, n_requests=50)
+        assert 0.0 < result.gpu_utilisation <= 1.0 + 1e-9
+
+
+class TestAdmissionControlEndToEnd:
+    """LoadSimulator + admission-controlled continuous batching, overloaded."""
+
+    def _simulator(self, seed: int = 7) -> LoadSimulator:
+        engine = InferenceEngine(
+            ServingCostModel(get_config("mistral-7b")),
+            scheme="cacheblend",
+            device=get_device("nvme_ssd"),
+        )
+        return LoadSimulator(
+            engine,
+            WorkloadSpec(n_output_tokens=48, ttft_slo_s=6.0),
+            seed=seed,
+            scheduler=ContinuousBatchingScheduler(n_servers=1, admission_control=True),
+        )
+
+    @pytest.fixture(scope="class")
+    def overloaded(self):
+        return self._simulator().run(request_rate=6.0, n_requests=60)
+
+    def test_workload_spec_stamps_the_deadline(self):
+        requests = self._simulator().generate_requests(1.0, 5)
+        assert all(r.deadline_s == 6.0 for r in requests)
+
+    def test_overload_sheds_requests(self, overloaded):
+        assert overloaded.n_rejected > 0
+        assert sum(t.rejected for t in overloaded.timings) == overloaded.n_rejected
+
+    def test_rejected_stay_in_timings_but_out_of_percentiles(self, overloaded):
+        assert len(overloaded.timings) == overloaded.n_requests
+        served_ttfts = [t.ttft for t in overloaded.timings if not t.rejected]
+        # Every served percentile is reachable from served TTFTs alone; the
+        # near-zero rejection TTFTs would otherwise pull p50 below min(served).
+        assert overloaded.p50_ttft >= min(served_ttfts) - 1e-9
+        assert overloaded.p99_ttft <= max(served_ttfts) + 1e-9
+        assert overloaded.mean_ttft >= min(served_ttfts) - 1e-9
+
+    def test_throughput_counts_served_requests_only(self, overloaded):
+        served = overloaded.n_requests - overloaded.n_rejected
+        makespan = max(t.completion_time for t in overloaded.timings) - min(
+            t.arrival_time for t in overloaded.timings
+        )
+        assert overloaded.throughput == pytest.approx(served / makespan)
+
+    def test_utilisation_stays_bounded_under_shedding(self, overloaded):
+        assert 0.0 < overloaded.gpu_utilisation <= 1.0 + 1e-6
+
+    def test_run_is_deterministic_under_a_fixed_seed(self):
+        a = self._simulator(seed=11).run(request_rate=6.0, n_requests=40)
+        b = self._simulator(seed=11).run(request_rate=6.0, n_requests=40)
+        assert a.n_rejected == b.n_rejected
+        assert a.mean_ttft == b.mean_ttft
+        assert a.p99_ttft == b.p99_ttft
+        assert [t.ttft for t in a.timings] == [t.ttft for t in b.timings]
+
+    def test_slo_free_workload_rejects_nothing(self):
+        engine = InferenceEngine(
+            ServingCostModel(get_config("mistral-7b")),
+            scheme="cacheblend",
+            device=get_device("nvme_ssd"),
+        )
+        simulator = LoadSimulator(
+            engine,
+            WorkloadSpec(n_output_tokens=48),  # no ttft_slo_s
+            seed=7,
+            scheduler=ContinuousBatchingScheduler(n_servers=1, admission_control=True),
+        )
+        result = simulator.run(request_rate=6.0, n_requests=40)
+        assert result.n_rejected == 0
+
+
+class TestFCFSRejectionSafety:
+    def test_fcfs_never_rejects_so_summary_matches_legacy(self):
+        requests = [_request(i, arrival=float(i)) for i in range(5)]
+        results = [_result(0.5, decode=0.1) for _ in requests]
+        timings = FCFSScheduler(n_servers=1).schedule(requests, results)
+        summary = summarise_run(requests, results, timings, n_servers=1)
+        assert summary.n_rejected == 0
+        assert summary.throughput > 0.0
+
+
+class TestDeadlinePlumbing:
+    def test_slo_spec_validation_happens_at_request_level(self):
+        with pytest.raises(ValueError):
+            replace(_request(0), deadline_s=0.0)
