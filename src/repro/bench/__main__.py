@@ -27,6 +27,7 @@ from repro.bench.experiment import (
 from repro.bench.report import format_summary, report_to_dict, save_report
 from repro.bench.workload import ARRIVAL_PATTERNS, DATASET_PRESETS
 from repro.kvstore.device import DEVICE_PRESETS
+from repro.kvstore.precision import PRECISION_PRESETS
 from repro.model.config import MODEL_PRESETS
 from repro.serving.engine import SCHEMES
 from repro.serving.router import ROUTING_POLICIES
@@ -128,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="slow-tier capacity as a multiple of the RAM tier (default 4)",
     )
     parser.add_argument(
+        "--kv-dtypes", nargs="+", default=None,
+        choices=PRECISION_PRESETS, metavar="DTYPE",
+        help="KV precision axis: store dtype presets to sweep (e.g. float16 "
+        "int8 mixed); each cell is priced at that precision policy's KV "
+        "width and annotated with the measured fusion quality of the dtype "
+        "(mean KV / attention deviation on the proxy model)",
+    )
+    parser.add_argument(
         "--fleet-sizes", nargs="+", type=int, default=None, metavar="N",
         help="fleet axis: replica counts to sweep (e.g. 1 2 4 8); each cell "
         "routes the workload over N engine replicas with private chunk "
@@ -176,6 +185,7 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         fault_rate=args.fault_rate,
         fleet_sizes=tuple(args.fleet_sizes or ()),
         routing_policies=tuple(args.routing_policies or ROUTING_POLICIES),
+        kv_dtypes=tuple(args.kv_dtypes or ()),
         seed=args.seed,
     )
 

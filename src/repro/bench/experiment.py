@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.bench.workload import ARRIVAL_PATTERNS, WorkloadGenerator
 from repro.kvstore.device import get_device
+from repro.kvstore.precision import PRECISION_PRESETS, PrecisionPolicy
 from repro.model.config import get_config
 from repro.serving.costmodel import OnlineCostCalibration, ServingCostModel
 from repro.serving.engine import SCHEMES, InferenceEngine
@@ -123,6 +124,17 @@ class ExperimentConfig:
     #: Routing policies of the fleet axis (see
     #: :data:`~repro.serving.router.ROUTING_POLICIES`).
     routing_policies: tuple[str, ...] = ROUTING_POLICIES
+    #: KV precision axis: store dtype presets to sweep (see
+    #: :data:`~repro.kvstore.precision.PRECISION_PRESETS`).  Each cell is
+    #: priced under that :class:`~repro.kvstore.precision.PrecisionPolicy`
+    #: (KV load *and* decode memory traffic scale with the policy's bytes
+    #: per token), carries a ``kv_dtype`` column plus policy-priced
+    #: ``store_bytes_stored``, and is annotated with the measured fusion
+    #: quality of that dtype — mean KV / attention deviation of the proxy
+    #: model's fused output against a full-recompute reference.  Together
+    #: these trace the quality × density × TTFT frontier.  Empty (default)
+    #: keeps the single-precision behaviour.
+    kv_dtypes: tuple[str, ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -164,6 +176,19 @@ class ExperimentConfig:
                     f"unknown routing policy {policy!r}; "
                     f"expected one of {ROUTING_POLICIES}"
                 )
+        for dtype in self.kv_dtypes:
+            if dtype not in PRECISION_PRESETS:
+                raise ValueError(
+                    f"unknown kv_dtype {dtype!r}; "
+                    f"expected one of {PRECISION_PRESETS}"
+                )
+        if self.kv_dtypes and self.fleet_sizes:
+            # The fleet axis prices every replica with the legacy model-width
+            # cost model; crossing it with per-dtype pricing would multiply
+            # the sweep without a baseline to compare against.
+            raise ValueError(
+                "kv_dtypes and fleet_sizes are mutually exclusive sweep axes"
+            )
         if self.fleet_sizes:
             # The fleet axis owns the store model (one private tracker per
             # replica) and the request stream (per-replica relabelling), so
@@ -244,6 +269,15 @@ class CellResult:
     store_hit_rate: float | None = None
     store_bytes_stored: int | None = None
     store_slow_tier_hit_share: float | None = None
+    #: KV precision axis columns (``None`` when the axis is off): the store
+    #: dtype preset this cell was priced under, and the measured quality of
+    #: that dtype on the proxy model — the mean KV deviation the store
+    #: quantisation introduces on chunk caches, and the end-to-end
+    #: forward-attention deviation of the fused output against a
+    #: full-recompute reference (the paper's Figure-6 metric).
+    kv_dtype: str | None = None
+    mean_kv_deviation: float | None = None
+    mean_attention_deviation: float | None = None
     #: Robustness columns.  ``admission_policy`` names the scheduling policy
     #: this cell ran under; ``goodput`` is SLO-met requests per second of
     #: served makespan (equal to throughput when no deadline is set);
@@ -380,6 +414,7 @@ class ExperimentRunner:
         calibration: OnlineCostCalibration | None = None,
         admission_policy: str = "none",
         clean_requests: list[GenerationRequest] | None = None,
+        kv_dtype: str | None = None,
     ) -> CellResult:
         """Serve the shared workload in one sweep cell and aggregate it.
 
@@ -397,8 +432,14 @@ class ExperimentRunner:
         (the fault axis's no-fault twin of the same stream) the cell also
         reports ``fault_ttft_inflation`` — the measured TTFT cost of
         recomputing fault-hit chunks.
+
+        *kv_dtype* (the precision axis) prices the cell's KV traffic — load
+        bandwidth and decode memory reads — at that store precision policy's
+        bytes per token instead of the model preset's native width.
         """
-        cost_model = ServingCostModel(get_config(model), calibration=calibration)
+        cost_model = ServingCostModel(
+            get_config(model), calibration=calibration, precision=kv_dtype
+        )
         needs_device = scheme in ("full_reuse", "cacheblend")
         engine = InferenceEngine(
             cost_model,
@@ -683,6 +724,34 @@ class ExperimentRunner:
         else:
             store_points.append((None, requests, None))
 
+        # KV precision axis: measure each dtype's fusion quality once on the
+        # proxy model (the probe is scheme- and device-independent, so every
+        # cell at that dtype shares it), and — when the capacity axis is off
+        # — replay the access trace through the default-capacity tiered
+        # store so the policy-priced resident-byte column stays measurable.
+        dtype_points: list[str | None] = list(self.config.kv_dtypes) or [None]
+        dtype_quality: dict[str, dict[str, float]] = {}
+        dtype_simulation = None
+        if self.config.kv_dtypes:
+            dtype_quality = run_quality_probe(
+                self.config.kv_dtypes,
+                seed=self.config.seed,
+                recompute_ratio=self.config.recompute_ratios[0],
+            )
+            if not self.config.store_capacity_chunks:
+                slow_capacity = max(
+                    1,
+                    int(
+                        round(
+                            self.config.cache_chunk_capacity
+                            * self.config.store_slow_capacity_factor
+                        )
+                    ),
+                )
+                dtype_simulation = generator.simulate_tiered_store(
+                    self.config.cache_chunk_capacity, slow_capacity
+                )
+
         cells: list[CellResult] = []
         for capacity, point_requests, simulation in store_points:
             # Fault axis: relabel fault-hit cached chunks as cold (recompute
@@ -704,29 +773,72 @@ class ExperimentRunner:
                         * get_config(model).kv_bytes_per_token(),
                         "store_slow_tier_hit_share": simulation.slow_tier_hit_share,
                     }
-                for device in self.config.devices:
-                    for scheme in self.config.schemes:
-                        for policy in self.config.admission_policies:
-                            ratio_dependent = scheme == "cacheblend"
-                            base_cell: CellResult | None = None
-                            for ratio in self.config.recompute_ratios:
-                                if ratio_dependent or base_cell is None:
-                                    base_cell = replace(
-                                        self.run_cell(
-                                            point_requests, model, device,
-                                            scheme, ratio,
-                                            calibration=calibration,
-                                            admission_policy=policy,
-                                            clean_requests=clean_requests,
-                                        ),
-                                        fault_recovered_chunks=n_fault_recovered,
-                                        **store_columns,
-                                    )
-                                    cells.append(base_cell)
-                                else:
-                                    cells.append(
-                                        replace(base_cell, recompute_ratio=ratio)
-                                    )
+                for kv_dtype in dtype_points:
+                    dtype_columns: dict[str, object] = {}
+                    if kv_dtype is not None:
+                        # Policy-priced resident bytes: the same resident
+                        # tokens, at the sweep dtype's width instead of the
+                        # model preset's native KV width (this is the
+                        # density leg of the frontier; fp16 vs int8 is
+                        # exactly the policies' mean-element-width ratio).
+                        policy = PrecisionPolicy.get(kv_dtype)
+                        model_config = get_config(model)
+                        bytes_per_token = (
+                            model_config.n_layers
+                            * policy.kv_bytes_per_token_per_layer(
+                                model_config.n_kv_heads,
+                                model_config.head_dim,
+                                model_config.n_layers,
+                            )
+                        )
+                        byte_simulation = (
+                            simulation if simulation is not None else dtype_simulation
+                        )
+                        quality_probe = dtype_quality.get(kv_dtype, {})
+                        dtype_columns = {
+                            "kv_dtype": kv_dtype,
+                            "store_hit_rate": byte_simulation.hit_rate,
+                            "store_bytes_stored": int(
+                                round(
+                                    sum(byte_simulation.resident_tokens)
+                                    * bytes_per_token
+                                )
+                            ),
+                            "store_slow_tier_hit_share": (
+                                byte_simulation.slow_tier_hit_share
+                            ),
+                            "mean_kv_deviation": quality_probe.get(
+                                "mean_kv_deviation"
+                            ),
+                            "mean_attention_deviation": quality_probe.get(
+                                "mean_attention_deviation"
+                            ),
+                        }
+                    columns = {**store_columns, **dtype_columns}
+                    for device in self.config.devices:
+                        for scheme in self.config.schemes:
+                            for policy_name in self.config.admission_policies:
+                                ratio_dependent = scheme == "cacheblend"
+                                base_cell: CellResult | None = None
+                                for ratio in self.config.recompute_ratios:
+                                    if ratio_dependent or base_cell is None:
+                                        base_cell = replace(
+                                            self.run_cell(
+                                                point_requests, model, device,
+                                                scheme, ratio,
+                                                calibration=calibration,
+                                                admission_policy=policy_name,
+                                                clean_requests=clean_requests,
+                                                kv_dtype=kv_dtype,
+                                            ),
+                                            fault_recovered_chunks=n_fault_recovered,
+                                            **columns,
+                                        )
+                                        cells.append(base_cell)
+                                    else:
+                                        cells.append(
+                                            replace(base_cell, recompute_ratio=ratio)
+                                        )
         return ExperimentReport(
             config=self.config,
             workload=workload_stats,
@@ -757,6 +869,7 @@ def build_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
                 cell.admission_policy,
                 cell.routing_policy,
                 cell.n_replicas,
+                cell.kv_dtype,
             ),
             {},
         )[cell.scheme] = cell
@@ -764,7 +877,7 @@ def build_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
     for key, schemes in sorted(
         by_key.items(), key=lambda item: tuple(map(str, item[0]))
     ):
-        model, device, ratio, capacity_key, policy, routing, n_replicas = key
+        model, device, ratio, capacity_key, policy, routing, n_replicas, kv_dtype = key
         blend = schemes.get("cacheblend")
         if blend is None:
             continue
@@ -776,6 +889,8 @@ def build_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
         }
         if policy != "none":
             row["admission_policy"] = policy
+        if kv_dtype is not None:
+            row["kv_dtype"] = kv_dtype
         if routing is not None:
             row["routing_policy"] = routing
             row["n_replicas"] = n_replicas
@@ -802,7 +917,76 @@ def build_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
         comparisons.append(row)
     comparisons.extend(build_admission_comparisons(cells))
     comparisons.extend(build_routing_comparisons(cells))
+    comparisons.extend(build_dtype_comparisons(cells))
     return comparisons
+
+
+def build_dtype_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
+    """Per (model, device, scheme, ratio): each store dtype vs ``float16``.
+
+    Pairs every precision-axis cell with its ``float16`` twin at the same
+    sweep point and reports the frontier trade: the resident-byte density
+    gain of the narrower store dtype, the TTFT it buys (KV load and decode
+    memory traffic shrink with the width) and the fusion-quality cost it is
+    bought at (mean KV / attention deviation vs the full-recompute
+    reference).  The ``mixed`` preset is the interesting middle point —
+    near-int8 density at below-int8 deviation.
+    """
+    by_point: dict[tuple, dict[str, CellResult]] = {}
+    for cell in cells:
+        if cell.kv_dtype is None:
+            continue
+        key = (
+            cell.model,
+            cell.device,
+            cell.scheme,
+            cell.recompute_ratio,
+            cell.admission_policy,
+            cell.store_capacity_chunks,
+        )
+        by_point.setdefault(key, {})[cell.kv_dtype] = cell
+    rows: list[dict[str, object]] = []
+    for key, dtypes in sorted(
+        by_point.items(), key=lambda item: tuple(map(str, item[0]))
+    ):
+        model, device, scheme, ratio, _admission, capacity = key
+        baseline = dtypes.get("float16")
+        if baseline is None:
+            continue
+        base_bytes = baseline.store_bytes_stored or 0
+        for dtype in sorted(dtypes):
+            if dtype == "float16":
+                continue
+            cell = dtypes[dtype]
+            row: dict[str, object] = {
+                "comparison": f"dtype_{dtype}_vs_float16",
+                "model": model,
+                "device": device,
+                "scheme": scheme,
+                "recompute_ratio": ratio,
+                "store_bytes_float16": baseline.store_bytes_stored,
+                f"store_bytes_{dtype}": cell.store_bytes_stored,
+                "bytes_density_gain": (
+                    base_bytes / cell.store_bytes_stored
+                    if cell.store_bytes_stored
+                    else float("inf")
+                ),
+                "mean_ttft_float16": baseline.mean_ttft,
+                f"mean_ttft_{dtype}": cell.mean_ttft,
+                "mean_kv_deviation_float16": baseline.mean_kv_deviation,
+                f"mean_kv_deviation_{dtype}": cell.mean_kv_deviation,
+                "mean_attention_deviation_float16": (
+                    baseline.mean_attention_deviation
+                ),
+                f"mean_attention_deviation_{dtype}": cell.mean_attention_deviation,
+                f"{dtype}_denser_than_float16": (
+                    (cell.store_bytes_stored or 0) < base_bytes
+                ),
+            }
+            if capacity is not None:
+                row["store_capacity_chunks"] = capacity
+            rows.append(row)
+    return rows
 
 
 def build_routing_comparisons(cells: list[CellResult]) -> list[dict[str, object]]:
@@ -909,6 +1093,76 @@ def build_admission_comparisons(cells: list[CellResult]) -> list[dict[str, objec
             }
         )
     return rows
+
+
+def run_quality_probe(
+    kv_dtypes: tuple[str, ...],
+    seed: int = 0,
+    recompute_ratio: float = 0.15,
+) -> dict[str, dict[str, float]]:
+    """Measured fusion quality per store dtype (NumPy proxy model).
+
+    Precomputes two chunk caches on the proxy Mistral-7B, round-trips them
+    through each dtype's store quantisation
+    (:func:`~repro.kvstore.serialization.quantize_kv_to_store_dtype`) and
+    fuses them with the real selective-recompute pipeline.  Two deviation
+    statistics are reported per dtype:
+
+    - ``mean_kv_deviation`` / ``max_kv_deviation``: the KV deviation the
+      store quantisation *itself* introduces on the chunk caches (reference
+      = the unquantised caches).  This isolates the precision knob — exact
+      zero for ``float32``, monotone in the width, and ``mixed`` lands
+      below ``int8`` because its fp16 early layers contribute ~none.
+    - ``mean_attention_deviation``: the paper's Figure-6 end-to-end metric —
+      forward-attention deviation of the fused output against a
+      full-recompute reference of the same token stream.  This includes the
+      fusion error (reused cross-attention), so dtypes differ by how their
+      rounding perturbs HKVD token selection, not just by width.
+
+    Returns ``{dtype: {mean_kv_deviation, max_kv_deviation,
+    mean_attention_deviation, mean_recompute_fraction}}``; the sweep
+    attaches the deviations to every cell served at that dtype.
+    """
+    from repro.core.deviation import kv_deviation, mean_attention_deviation
+    from repro.core.fusor import FusorConfig, KVFusor
+    from repro.kvstore.serialization import quantize_kv_to_store_dtype
+    from repro.model.transformer import TransformerModel
+
+    model = TransformerModel(get_config("proxy-mistral-7b"), seed=seed)
+    fusor = KVFusor(model, FusorConfig(recompute_ratio=recompute_ratio))
+    rng = np.random.default_rng((seed, 0xD7E))
+    chunk_ids = [
+        rng.integers(4, model.config.vocab_size, size=48).astype(np.int64)
+        for _ in range(2)
+    ]
+    suffix_ids = rng.integers(4, model.config.vocab_size, size=12).astype(np.int64)
+    chunk_caches = [model.chunk_prefill(ids) for ids in chunk_ids]
+    full_ids = np.concatenate(chunk_ids + [suffix_ids])
+    reference = model.full_prefill(
+        full_ids, query_window=fusor.config.query_window
+    )
+    probe: dict[str, dict[str, float]] = {}
+    for dtype in kv_dtypes:
+        quantized = [
+            quantize_kv_to_store_dtype(cache, dtype) for cache in chunk_caches
+        ]
+        store_deviation = np.concatenate(
+            [
+                kv_deviation(quant, original)
+                for quant, original in zip(quantized, chunk_caches)
+            ],
+            axis=1,
+        )
+        fused = fusor.fuse(quantized, suffix_ids)
+        probe[dtype] = {
+            "mean_kv_deviation": float(store_deviation.mean()),
+            "max_kv_deviation": float(store_deviation.max()),
+            "mean_attention_deviation": mean_attention_deviation(
+                fused.forward_attention, reference.forward_attention
+            ),
+            "mean_recompute_fraction": fused.mean_recompute_fraction,
+        }
+    return probe
 
 
 def run_proxy_probe(

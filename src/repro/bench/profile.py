@@ -54,8 +54,10 @@ from repro.model.transformer import TransformerModel
 #: preemption); v6 adds ``routing_decision`` (affinity-scored placement of
 #: one request over a warmed 4-replica fleet — the router tier's per-request
 #: overhead) and the top-level ``fleet`` block with per-policy decision
-#: timings.
-PROFILE_SCHEMA_VERSION = 6
+#: timings; v7 adds ``dequant_int8`` (full int8 store round-trip of the
+#: fused cache: per-layer quantise + scale recovery on the deserialize
+#: path — the extra CPU the narrower store dtype costs per request).
+PROFILE_SCHEMA_VERSION = 7
 
 _REQUIRED_OPS = (
     "chunk_prefill",
@@ -70,6 +72,7 @@ _REQUIRED_OPS = (
     "routing_decision",
     "serialize_kv",
     "deserialize_kv",
+    "dequant_int8",
 )
 
 
@@ -690,6 +693,10 @@ def run_profile(config: ProfileConfig | None = None) -> dict[str, object]:
     ops["deserialize_kv"] = _time_op(
         lambda: deserialize_kv(payload), config.repeats, config.warmup
     )
+    int8_payload = serialize_kv(fused.kv_cache, kv_dtype="int8")
+    ops["dequant_int8"] = _time_op(
+        lambda: deserialize_kv(int8_payload), config.repeats, config.warmup
+    )
 
     # ---- calibrated pipelined-vs-sequential comparison -------------------
     measurement = measure_pipeline_speedup(
@@ -879,6 +886,7 @@ def check_against_baseline(
         "preempt_resume",
         "store_lookup",
         "routing_decision",
+        "dequant_int8",
     ),
 ) -> list[str]:
     """Compare *document* against a checked-in *baseline*; returns failures.

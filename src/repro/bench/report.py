@@ -38,8 +38,11 @@ from repro.bench.experiment import ExperimentReport
 #: the inflation is null when faults are off); v5 adds the fleet axis
 #: columns (``routing_policy``, ``n_replicas``, ``aggregate_throughput``,
 #: ``per_replica_hit_rates``, ``fleet_hit_rate``, ``utilisation_skew`` —
-#: null when the sweep runs without ``fleet_sizes``).
-SCHEMA_VERSION = 5
+#: null when the sweep runs without ``fleet_sizes``); v6 adds the KV
+#: precision axis columns (``kv_dtype``, ``mean_kv_deviation``,
+#: ``mean_attention_deviation`` — null when the sweep runs without
+#: ``kv_dtypes``) and the ``dtype_*_vs_float16`` comparison rows.
+SCHEMA_VERSION = 6
 
 _REQUIRED_TOP_LEVEL = ("schema_version", "created", "tag", "config", "workload", "cells")
 _REQUIRED_CELL_FIELDS = (
@@ -60,6 +63,9 @@ _REQUIRED_CELL_FIELDS = (
     "store_hit_rate",
     "store_bytes_stored",
     "store_slow_tier_hit_share",
+    "kv_dtype",
+    "mean_kv_deviation",
+    "mean_attention_deviation",
     "admission_policy",
     "goodput",
     "slo_attainment",
@@ -117,6 +123,17 @@ def validate_report(document: dict[str, object]) -> None:
         hit_rate = cell["store_hit_rate"]
         if hit_rate is not None and not 0.0 <= hit_rate <= 1.0:
             raise ValueError(f"cell {i} has an out-of-range store hit rate")
+        kv_dtype = cell["kv_dtype"]
+        if kv_dtype is not None:
+            if cell["store_bytes_stored"] is None or cell["store_bytes_stored"] < 0:
+                raise ValueError(
+                    f"precision cell {i} needs non-negative store_bytes_stored"
+                )
+            deviation = cell["mean_kv_deviation"]
+            if deviation is None or deviation < 0.0:
+                raise ValueError(
+                    f"precision cell {i} has an invalid mean KV deviation"
+                )
         for fraction_key in ("slo_attainment", "rejection_rate"):
             if not 0.0 <= cell[fraction_key] <= 1.0:
                 raise ValueError(f"cell {i} has an out-of-range {fraction_key}")
@@ -188,12 +205,16 @@ def format_summary(document: dict[str, object]) -> str:
     ]
     admission_rows = []
     routing_rows = []
+    dtype_rows = []
     for row in document.get("comparisons", []):
         if row.get("comparison") == "admission_vs_none":
             admission_rows.append(row)
             continue
         if str(row.get("comparison", "")).startswith("routing_"):
             routing_rows.append(row)
+            continue
+        if str(row.get("comparison", "")).startswith("dtype_"):
+            dtype_rows.append(row)
             continue
         lines.append(
             f"{row['model']:<12} {row['device']:<10} "
@@ -227,6 +248,21 @@ def format_summary(document: dict[str, object]) -> str:
             f"{row['utilisation_skew_least_loaded']:.2f}, p99 TTFT "
             f"{row[f'p99_ttft_{routing}']:.3f}s vs "
             f"{row['p99_ttft_least_loaded']:.3f}s"
+        )
+    for row in dtype_rows:
+        if row["scheme"] != "cacheblend":
+            continue
+        dtype = (
+            str(row["comparison"]).removeprefix("dtype_").removesuffix("_vs_float16")
+        )
+        lines.append(
+            f"precision ({row['model']}/{row['device']}): {dtype} stores "
+            f"{row['bytes_density_gain']:.2f}x denser than float16 "
+            f"({row[f'store_bytes_{dtype}'] / 1e9:.2f} vs "
+            f"{row['store_bytes_float16'] / 1e9:.2f} GB), TTFT "
+            f"{row[f'mean_ttft_{dtype}']:.3f}s vs {row['mean_ttft_float16']:.3f}s, "
+            f"KV deviation {row[f'mean_kv_deviation_{dtype}']:.4f} vs "
+            f"{row['mean_kv_deviation_float16']:.4f}"
         )
     proxy = document.get("proxy")
     if proxy and proxy.get("measured_ttfts"):

@@ -57,6 +57,7 @@ from repro.kvstore.faults import (
     StoreFault,
     StoreReadTimeout,
 )
+from repro.kvstore.precision import PrecisionPolicy
 from repro.kvstore.protocol import ChunkStore, StoreLookup
 from repro.kvstore.serialization import KVCorruptionError, quantize_kv_to_store_dtype
 from repro.kvstore.store import chunk_key
@@ -239,7 +240,7 @@ class BlendEngine:
         encoding_cache_size: int = 1024,
         execution: str = "analytic",
         executor: PipelinedExecutor | None = None,
-        kv_dtype: str = "float16",
+        precision: PrecisionPolicy | str | None = None,
         retry_policy: LookupRetryPolicy | None = None,
     ) -> None:
         if execution not in EXECUTION_MODES:
@@ -251,18 +252,23 @@ class BlendEngine:
         #: Any :class:`~repro.kvstore.protocol.ChunkStore` backend — whole
         #: chunk, radix-trie dedup, or a multi-tier hierarchy of either.
         self.kv_store = kv_store
-        #: Store payload dtype; chunk caches are round-tripped through it
-        #: before ``put`` so fusion sees exactly the stored precision.
-        self.kv_dtype = kv_dtype
+        #: Store precision policy; chunk caches are round-tripped through it
+        #: before ``put`` so fusion sees exactly the stored precision, and
+        #: every load span is priced at its per-layer payload bytes.
+        #: Defaults to the store's own policy when it carries one.
+        if precision is None:
+            precision = getattr(kv_store, "precision", None)
+        self.precision = PrecisionPolicy.get(precision)
         self.controller = controller
         self.fusor = KVFusor(model, fusor_config or FusorConfig())
         #: Architecture used for the TTFT estimates (defaults to the proxy).
         self.timing_model = timing_model or model.config
         #: Default execution mode of :meth:`run`/:meth:`run_batch`.
         self.execution = execution
-        #: The measured serving path; shares the store's device model.
+        #: The measured serving path; shares the store's device model and
+        #: the engine's precision policy.
         self.executor = executor or PipelinedExecutor(
-            model, self.fusor.config, device=kv_store.device
+            model, self.fusor.config, device=kv_store.device, precision=self.precision
         )
         self._encodings = _EncodingCache(capacity=encoding_cache_size)
         #: Retry/timeout/fallback behaviour of store lookups under faults.
@@ -270,6 +276,11 @@ class BlendEngine:
         #: Engine-global fault-recovery counters, aggregated across requests
         #: (the per-request counts live in each result's ``cache_stats``).
         self._fault_totals: dict[str, int] = {key: 0 for key in _FAULT_STAT_KEYS}
+
+    @property
+    def kv_dtype(self) -> str:
+        """Legacy name for the store precision policy's preset name."""
+        return self.precision.name
 
     # ------------------------------------------------------------------
     # Tokenization (memoized)
@@ -366,23 +377,17 @@ class BlendEngine:
         model = TransformerModel(proxy_config, seed=seed)
         tokenizer = Tokenizer(vocab_size=proxy_config.vocab_size)
         storage = device if isinstance(device, StorageDevice) else get_device(device)
-        kv_dtype = "float16"
         if store is None:
             store = StoreConfig()
         if isinstance(store, StoreConfig):
-            kv_dtype = store.kv_dtype
-            # Legacy single-tier configs keep pricing bytes at the timing
-            # model's KV width; tiered/trie backends use the store dtype.
-            dtype_bytes = (
-                timing_config.dtype_bytes
-                if store.backend == "chunk" and store.kv_dtype == "float16"
-                else store.dtype_bytes
-            )
-            kv_store = store.build(
-                device=None if store.tiered else storage, dtype_bytes=dtype_bytes
-            )
+            # Every backend accounts and prices bytes at the store precision
+            # policy's widths — identical payloads cost the same no matter
+            # which backend holds them.
+            precision = store.precision
+            kv_store = store.build(device=None if store.tiered else storage)
         else:
             kv_store = store
+            precision = PrecisionPolicy.get(getattr(store, "precision", None))
         if faults is not None and faults.rate > 0.0:
             kv_store = FaultyStore(kv_store, faults)
         cost_model = ServingCostModel(
@@ -390,6 +395,7 @@ class BlendEngine:
             GPUSpec(),
             n_gpus=n_gpus,
             calibration=calibration or OnlineCostCalibration(),
+            precision=precision,
         )
         controller = LoadingController(cost_model, min_quality_ratio=recompute_ratio)
         return cls(
@@ -400,7 +406,7 @@ class BlendEngine:
             fusor_config=FusorConfig(recompute_ratio=recompute_ratio),
             timing_model=timing_config,
             execution=execution,
-            kv_dtype=kv_dtype,
+            precision=precision,
             retry_policy=retry_policy,
         )
 
@@ -413,9 +419,10 @@ class BlendEngine:
     def precompute_chunk(self, text: str) -> str:
         """Tokenize, prefill and store one chunk; returns its cache key.
 
-        The stored cache is round-tripped through the fp16 store dtype, so
-        what the in-memory fusion path sees is bit-identical to what the
-        executor's byte-level load path decodes.
+        The stored cache is round-tripped through the store's precision
+        policy (per-layer fp32/fp16/int8), so what the in-memory fusion path
+        sees is bit-identical to what the executor's byte-level load path
+        decodes.
         """
         token_ids = self.encode(text)
         if token_ids.size == 0:
@@ -423,7 +430,7 @@ class BlendEngine:
         key = self.chunk_cache_key(token_ids)
         if not self.kv_store.contains(key):
             cache = self.model.chunk_prefill(token_ids, start_position=0)
-            self.kv_store.put(key, quantize_kv_to_store_dtype(cache, self.kv_dtype))
+            self.kv_store.put(key, quantize_kv_to_store_dtype(cache, self.precision))
         return key
 
     def precompute_chunks(self, texts: list[str]) -> list[str]:
@@ -539,7 +546,7 @@ class BlendEngine:
                 start = time.perf_counter()
                 cached = quantize_kv_to_store_dtype(
                     self.model.chunk_prefill(token_ids, start_position=0),
-                    self.kv_dtype,
+                    self.precision,
                 )
                 miss_prefill_s += time.perf_counter() - start
                 self.kv_store.put(key, cached)
@@ -577,7 +584,9 @@ class BlendEngine:
         estimate beside them is priced at."""
         if device.name == self.executor.device.name:
             return self.executor
-        return PipelinedExecutor(self.model, self.fusor.config, device=device)
+        return PipelinedExecutor(
+            self.model, self.fusor.config, device=device, precision=self.precision
+        )
 
     def _decide(self, inputs: _RequestInputs, recompute_ratio, candidate_devices):
         decision = self.controller.decide(

@@ -5,10 +5,13 @@ module actually **runs** it.  A :class:`PipelinedExecutor` drives
 :meth:`KVFusor.fuse_layers` while a background loader thread streams each
 layer's serialized KV off a (simulated) storage device:
 
-* every layer's reused KV exists as raw fp16 bytes (the store format of
+* every layer's reused KV exists as raw bytes in the store's wire precision
+  (fp16 by default; fp32/int8/per-layer mixed under a
+  :class:`~repro.kvstore.precision.PrecisionPolicy` — the formats of
   :mod:`repro.kvstore.serialization`); *loading* a layer means sleeping for
-  the device's transfer delay, then decoding (``np.frombuffer``), RoPE
-  re-aligning and padding the chunk entries — real work, on a real thread;
+  the device's transfer delay priced at that layer's payload width, then
+  decoding (``np.frombuffer``), RoPE re-aligning and padding the chunk
+  entries — real work, on a real thread;
 * the fusor's compute for layer ``i`` blocks until layer ``i``'s load has
   finished, exactly the two-thread double buffer the paper describes in §6;
 * every load and compute span is measured with ``time.perf_counter`` and
@@ -38,7 +41,8 @@ from repro.core.fusor import (
 )
 from repro.core.pipeline import PipelineTrace
 from repro.kvstore.device import StorageDevice, get_device
-from repro.kvstore.serialization import pack_layer_kv, unpack_layer_kv
+from repro.kvstore.precision import PrecisionPolicy
+from repro.kvstore.serialization import pack_layer_kv_as, unpack_layer_kv_as
 from repro.model.tensors import KVCache, LayerKV
 from repro.model.transformer import TransformerModel
 
@@ -113,26 +117,34 @@ class BatchExecutionResult:
 class _RequestPlan:
     """Per-request load state; the packed blobs materialize lazily.
 
-    Layout, positions and the simulated delay are prepared before the batch
-    clock starts, but the raw fp16 blobs — the store's view of the caches —
-    are packed only when the request is about to load (and dropped once its
-    fusion consumed them), so a deep queue never holds every request's bytes
-    at once.
+    Layout, positions and the simulated per-layer delays are prepared before
+    the batch clock starts, but the raw store-precision blobs — the store's
+    view of the caches — are packed only when the request is about to load
+    (and dropped once its fusion consumed them), so a deep queue never holds
+    every request's bytes at once.
     """
 
     layout: FusionLayout
     chunk_caches: list[KVCache]
     chunk_positions: list[np.ndarray]
+    #: Per-layer wire dtypes from the executor's precision policy.
+    layer_dtypes: tuple[str, ...]
+    #: Per-layer simulated transfer delays (non-uniform under ``mixed``).
+    layer_delays: tuple[float, ...]
+    #: Mean per-layer delay, reported as ``simulated_load_delay``.
     delay: float
     recompute_ratio: float | None
     blobs: list[list[bytes]] | None = None
 
     def materialize(self, n_layers: int) -> None:
-        """Pack the raw fp16 bytes per (layer, chunk) — what serialize_kv
-        would have persisted."""
+        """Pack the raw store-precision bytes per (layer, chunk) — what
+        serialize_kv would have persisted."""
         if self.blobs is None:
             self.blobs = [
-                [pack_layer_kv(cache.layers[i]) for cache in self.chunk_caches]
+                [
+                    pack_layer_kv_as(cache.layers[i], self.layer_dtypes[i])
+                    for cache in self.chunk_caches
+                ]
                 for i in range(n_layers)
             ]
 
@@ -175,6 +187,11 @@ class PipelinedExecutor:
         When set, a fixed simulated transfer delay in seconds per layer,
         overriding the device model entirely (used by the profile harness to
         calibrate loads against measured compute).
+    precision:
+        The store's :class:`~repro.kvstore.precision.PrecisionPolicy` (or a
+        preset name).  Governs both the wire format each layer is packed and
+        decoded with and the payload bytes each layer's transfer delay is
+        priced at.  Defaults to uniform fp16, the historical behaviour.
     """
 
     def __init__(
@@ -184,6 +201,7 @@ class PipelinedExecutor:
         device: StorageDevice | str = "nvme_ssd",
         time_scale: float = 1.0,
         layer_load_time: float | None = None,
+        precision: PrecisionPolicy | str | None = None,
     ) -> None:
         self.model = model
         self.fusor = KVFusor(model, fusor_config)
@@ -194,6 +212,7 @@ class PipelinedExecutor:
             raise ValueError("layer_load_time must be non-negative")
         self.time_scale = time_scale
         self.layer_load_time = layer_load_time
+        self.precision = PrecisionPolicy.get(precision)
 
     # ------------------------------------------------------------------
     def execute(
@@ -286,10 +305,13 @@ class PipelinedExecutor:
         def load_layer(req_idx: int, layer_idx: int) -> None:
             plan = plans[req_idx]
             load_start[req_idx][layer_idx] = time.perf_counter() - origin
-            if plan.delay > 0.0:
-                time.sleep(plan.delay)  # simulated device transfer
+            if plan.layer_delays[layer_idx] > 0.0:
+                time.sleep(plan.layer_delays[layer_idx])  # simulated device transfer
             slots[req_idx][layer_idx] = self._decode_layer(
-                plan.blobs[layer_idx], plan.chunk_positions, plan.layout
+                plan.blobs[layer_idx],
+                plan.layer_dtypes[layer_idx],
+                plan.chunk_positions,
+                plan.layout,
             )
             load_end[req_idx][layer_idx] = time.perf_counter() - origin
             ready[req_idx][layer_idx].set()
@@ -402,24 +424,42 @@ class PipelinedExecutor:
         if extra_load_delay < 0.0:
             raise ValueError("extra_load_delay must be non-negative")
         layout = self.fusor.plan_layout(chunk_caches, suffix_token_ids)
-        # fp16 K+V bytes of one layer across the request's chunks (what
-        # pack_layer_kv will produce), computable without packing.
-        layer_nbytes = sum(
-            2 * cache.layers[0].keys.size * 2 for cache in chunk_caches
-        )
-        delay = (
-            self.layer_load_time
-            if self.layer_load_time is not None
-            else self.device.read_time(layer_nbytes) * self.time_scale
-        )
-        n_layers = self.model.config.n_layers
+        cfg = self.model.config
+        n_layers = cfg.n_layers
+        layer_dtypes = self.precision.layer_dtype_table(n_layers)
+        if self.layer_load_time is not None:
+            layer_delays = [float(self.layer_load_time)] * n_layers
+        else:
+            # K+V payload bytes of each layer across the request's chunks
+            # (what pack_layer_kv_as will produce), computable without
+            # packing; non-uniform across layers under a mixed policy.
+            layer_delays = [
+                self.device.read_time(
+                    sum(
+                        self.precision.layer_payload_nbytes(
+                            layer_idx,
+                            n_layers,
+                            n_tokens=cache.positions.size,
+                            n_kv_heads=cfg.n_kv_heads,
+                            head_dim=cfg.head_dim,
+                        )
+                        for cache in chunk_caches
+                    )
+                )
+                * self.time_scale
+                for layer_idx in range(n_layers)
+            ]
         if extra_load_delay > 0.0 and n_layers:
-            delay = float(delay) + extra_load_delay / n_layers
+            per_layer = extra_load_delay / n_layers
+            layer_delays = [delay + per_layer for delay in layer_delays]
+        mean_delay = sum(layer_delays) / n_layers if n_layers else 0.0
         return _RequestPlan(
             layout=layout,
             chunk_caches=chunk_caches,
             chunk_positions=[cache.positions for cache in chunk_caches],
-            delay=float(delay),
+            layer_dtypes=layer_dtypes,
+            layer_delays=tuple(layer_delays),
+            delay=float(mean_delay),
             recompute_ratio=recompute_ratio,
         )
 
@@ -427,15 +467,16 @@ class PipelinedExecutor:
     def _decode_layer(
         self,
         layer_blobs: list[bytes],
+        layer_dtype: str,
         chunk_positions: list[np.ndarray],
         layout: FusionLayout,
     ) -> LayerKV:
         """Decode one layer's blobs and assemble the padded reused buffers.
 
         This is the per-layer "load" work that overlaps with compute:
-        ``np.frombuffer`` decode, RoPE re-alignment of the keys to the fused
-        offsets, and the scatter into the zero-padded ``(n_total, ...)``
-        buffers the fusor merges into.
+        ``np.frombuffer`` decode (dequantising int8 layers), RoPE
+        re-alignment of the keys to the fused offsets, and the scatter into
+        the zero-padded ``(n_total, ...)`` buffers the fusor merges into.
         """
         cfg = self.model.config
         n_total = layout.n_tokens
@@ -444,8 +485,8 @@ class PipelinedExecutor:
         for blob, old_positions, offset in zip(
             layer_blobs, chunk_positions, layout.chunk_offsets
         ):
-            layer = unpack_layer_kv(
-                blob, old_positions.size, cfg.n_kv_heads, cfg.head_dim
+            layer = unpack_layer_kv_as(
+                blob, layer_dtype, old_positions.size, cfg.n_kv_heads, cfg.head_dim
             )
             place_chunk_layer(keys, values, layer, old_positions, offset, cfg.rope_theta)
         return LayerKV(keys, values)

@@ -20,6 +20,13 @@ from repro.kvstore.faults import (
     StoreUnavailable,
 )
 from repro.kvstore.hierarchy import TieredChunkTracker, TieredKVStore, TierLookup
+from repro.kvstore.precision import (
+    ELEM_BYTES,
+    KV_ELEM_DTYPES,
+    PRECISION_PRESETS,
+    PrecisionPolicy,
+    layer_payload_nbytes,
+)
 from repro.kvstore.protocol import ChunkStore, StoreLookup
 from repro.kvstore.serialization import (
     KVCorruptionError,
@@ -68,4 +75,9 @@ __all__ = [
     "StoreConfig",
     "STORE_BACKENDS",
     "KV_DTYPE_BYTES",
+    "PrecisionPolicy",
+    "PRECISION_PRESETS",
+    "KV_ELEM_DTYPES",
+    "ELEM_BYTES",
+    "layer_payload_nbytes",
 ]

@@ -14,15 +14,16 @@ from dataclasses import dataclass
 
 from repro.kvstore.device import get_device
 from repro.kvstore.hierarchy import TieredKVStore
-from repro.kvstore.serialization import KV_STORE_DTYPES
+from repro.kvstore.precision import ELEM_BYTES, PRECISION_PRESETS, PrecisionPolicy
 from repro.kvstore.store import EvictionPolicy, KVCacheStore
 from repro.kvstore.trie import RadixTrieStore
 
 #: Store backends :meth:`StoreConfig.build` can construct.
 STORE_BACKENDS = ("chunk", "trie", "tiered", "tiered_trie")
 
-#: Bytes per stored KV element for each supported store dtype.
-KV_DTYPE_BYTES = {"float16": 2, "int8": 1}
+#: Bytes per stored KV element for each *uniform* store dtype (per-layer
+#: policies like ``mixed`` have no scalar width — use ``precision``).
+KV_DTYPE_BYTES = dict(ELEM_BYTES)
 
 
 @dataclass(frozen=True)
@@ -45,8 +46,11 @@ class StoreConfig:
     policy:
         Eviction policy shared by every (single or tier) store.
     kv_dtype:
-        Store payload dtype; sets ``dtype_bytes`` (fp16 → 2, int8 → 1) and
-        the quantisation round-trip the engine applies before ``put``.
+        Store precision: a uniform payload dtype (``float32``/``float16``/
+        ``int8``) or the per-layer ``mixed`` preset.  Resolved into the
+        :attr:`precision` policy that governs byte accounting, the
+        quantisation round-trip the engine applies before ``put``, and the
+        serialized wire format.
     promote_on_hit / demote_on_evict:
         Tiered-backend behaviour: copy hits up to tier 0, demote eviction
         victims one tier down.
@@ -69,9 +73,9 @@ class StoreConfig:
             raise ValueError(
                 f"unknown store backend {self.backend!r}; expected one of {STORE_BACKENDS}"
             )
-        if self.kv_dtype not in KV_STORE_DTYPES:
+        if self.kv_dtype not in PRECISION_PRESETS:
             raise ValueError(
-                f"unknown kv_dtype {self.kv_dtype!r}; expected one of {KV_STORE_DTYPES}"
+                f"unknown kv_dtype {self.kv_dtype!r}; expected one of {PRECISION_PRESETS}"
             )
         if not self.tier_devices:
             raise ValueError("tier_devices must name at least one device")
@@ -81,8 +85,24 @@ class StoreConfig:
             raise ValueError("tier_capacity_bytes must match tier_devices in length")
 
     @property
+    def precision(self) -> PrecisionPolicy:
+        """The per-layer precision policy ``kv_dtype`` resolves to."""
+        return PrecisionPolicy.get(self.kv_dtype)
+
+    @property
     def dtype_bytes(self) -> int:
-        return KV_DTYPE_BYTES[self.kv_dtype]
+        """Scalar element width of a *uniform* ``kv_dtype``.
+
+        Per-layer policies (``mixed``) have no single width — callers that
+        need byte accounting should go through :attr:`precision` instead.
+        """
+        try:
+            return KV_DTYPE_BYTES[self.kv_dtype]
+        except KeyError:
+            raise ValueError(
+                f"kv_dtype {self.kv_dtype!r} has no scalar element width; "
+                "use the per-layer precision policy"
+            ) from None
 
     @property
     def tiered(self) -> bool:
@@ -94,9 +114,15 @@ class StoreConfig:
         ``device`` overrides the single-tier storage device (the engine
         passes the device its controller picked); ``dtype_bytes`` overrides
         the payload width when the caller's timing model disagrees with
-        ``kv_dtype`` (legacy paths).
+        ``kv_dtype`` (legacy paths; ignored for byte accounting, which the
+        precision policy governs).
         """
-        width = self.dtype_bytes if dtype_bytes is None else dtype_bytes
+        precision = self.precision
+        if dtype_bytes is not None:
+            width = dtype_bytes
+        else:
+            uniform = precision.uniform_dtype
+            width = ELEM_BYTES[uniform] if uniform is not None else 2
         if not self.tiered:
             storage = device if device is not None else get_device(self.tier_devices[0])
             cls = KVCacheStore if self.backend == "chunk" else RadixTrieStore
@@ -105,6 +131,7 @@ class StoreConfig:
                 dtype_bytes=width,
                 policy=self.policy,
                 capacity_bytes=self.capacity_bytes,
+                precision=precision,
             )
             if self.backend == "trie" and self.ttl_s is not None:
                 kwargs["ttl_s"] = self.ttl_s
@@ -119,6 +146,7 @@ class StoreConfig:
                 dtype_bytes=width,
                 policy=self.policy,
                 capacity_bytes=capacity,
+                precision=precision,
             )
             if self.backend == "tiered_trie" and self.ttl_s is not None:
                 kwargs["ttl_s"] = self.ttl_s

@@ -61,7 +61,7 @@ class TieredKVStore:
             below = self.tiers[to_index]
             if below.contains(key):
                 return  # inclusive hierarchy: a promoted copy already lives below
-            nbytes = cache.nbytes(below.dtype_bytes)
+            nbytes = below.cache_nbytes(cache)
             if nbytes <= below.capacity_bytes:
                 below.put(key, cache)
 
@@ -105,7 +105,7 @@ class TieredKVStore:
     def put(self, key: str, cache: KVCache) -> int:
         """Insert into the fastest tier whose capacity holds the entry."""
         for index, tier in enumerate(self.tiers):
-            nbytes = cache.nbytes(tier.dtype_bytes)
+            nbytes = tier.cache_nbytes(cache)
             if nbytes <= tier.capacity_bytes:
                 self.stats.inserts += 1
                 return tier.put(key, cache)
@@ -130,7 +130,7 @@ class TieredKVStore:
 
     def _try_promote(self, key: str, cache: KVCache) -> None:
         fastest = self.tiers[0]
-        if cache.nbytes(fastest.dtype_bytes) <= fastest.capacity_bytes:
+        if fastest.cache_nbytes(cache) <= fastest.capacity_bytes:
             fastest.put(key, cache)
 
     # ------------------------------------------------------------------
@@ -159,6 +159,15 @@ class TieredKVStore:
     @property
     def dtype_bytes(self) -> int:
         return self.tiers[0].dtype_bytes
+
+    @property
+    def precision(self):
+        """The tiers' precision policy (``None`` for scalar-width tiers)."""
+        return self.tiers[0].precision
+
+    def cache_nbytes(self, cache: KVCache) -> int:
+        """Stored bytes of *cache* under the fastest tier's precision."""
+        return self.tiers[0].cache_nbytes(cache)
 
     @property
     def bytes_stored(self) -> int:

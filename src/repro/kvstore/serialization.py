@@ -5,15 +5,23 @@ blobs.  ``kv_nbytes`` is the size accounting the storage devices and the
 loading-delay estimator use; ``serialize_kv``/``deserialize_kv`` produce real
 byte buffers so the store can optionally persist caches to files on disk.
 
-Four wire formats exist:
+Five wire formats exist:
 
-* ``RPKV4`` (current, written by :func:`serialize_kv` for both payload
-  dtypes): the RPKV2/RPKV3 layout with the payload dtype recorded in the
-  header plus a blake2b digest of the payload bytes (token ids, positions
-  and layers).  :func:`deserialize_kv` verifies the digest before decoding
-  and raises :class:`KVCorruptionError` on mismatch — a flipped bit in a
-  stored blob surfaces as a typed, retryable failure instead of silently
-  decoding garbage KV.
+* ``RPKV5`` (current, written by :func:`serialize_kv` whenever a
+  :class:`~repro.kvstore.precision.PrecisionPolicy` — or any dtype the
+  uniform legacy formats cannot express, e.g. ``float32`` or the
+  ``mixed`` preset — selects the payload): the RPKV4 layout generalised
+  with a **per-layer dtype table** in the header.  Each layer's payload is
+  packed at its own dtype (raw float32/float16 bytes, or the int8 scale
+  pair + quantised bytes), so one blob can mix precisions across layers.
+  Always checksummed.
+* ``RPKV4`` (written by :func:`serialize_kv` for the uniform
+  ``float16``/``int8`` dtypes): the RPKV2/RPKV3 layout with the payload
+  dtype recorded in the header plus a blake2b digest of the payload bytes
+  (token ids, positions and layers).  :func:`deserialize_kv` verifies the
+  digest before decoding and raises :class:`KVCorruptionError` on
+  mismatch — a flipped bit in a stored blob surfaces as a typed,
+  retryable failure instead of silently decoding garbage KV.
 * ``RPKV3`` (legacy int8, still readable): the JSON header followed by
   token ids, positions, then per layer a ``float32`` (k_scale, v_scale)
   pair and the int8-quantised K/V bytes.  The symmetric per-tensor scale
@@ -36,12 +44,14 @@ import json
 
 import numpy as np
 
+from repro.kvstore.precision import PrecisionPolicy
 from repro.model.tensors import KVCache, LayerKV
 
 _MAGIC_V1 = b"RPKV1\n"
 _MAGIC_V2 = b"RPKV2\n"
 _MAGIC_V3 = b"RPKV3\n"
 _MAGIC_V4 = b"RPKV4\n"
+_MAGIC_V5 = b"RPKV5\n"
 
 #: blake2b digest width of the RPKV4 payload checksum (hex in the header).
 _CHECKSUM_BYTES = 16
@@ -58,11 +68,14 @@ class KVCorruptionError(ValueError):
 
 #: On-disk dtype of the KV payload (the paper stores KV caches in fp16).
 _KV_DTYPE = np.dtype(np.float16)
+_F32_DTYPE = np.dtype(np.float32)
 _INT8_DTYPE = np.dtype(np.int8)
 _SCALE_DTYPE = np.dtype(np.float32)
 _IDX_DTYPE = np.dtype(np.int64)
 
-#: KV payload dtypes :func:`serialize_kv` can write.
+#: Uniform KV payload dtypes the legacy ``RPKV2``–``4`` formats can write;
+#: ``float32``, ``mixed`` and explicit per-layer policies go through
+#: ``RPKV5`` (see :func:`serialize_kv`).
 KV_STORE_DTYPES = ("float16", "int8")
 
 
@@ -150,41 +163,111 @@ def _int8_layer_nbytes(n_tokens: int, n_kv_heads: int, head_dim: int) -> int:
     return 2 * _SCALE_DTYPE.itemsize + 2 * n_tokens * n_kv_heads * head_dim
 
 
-def quantize_kv_to_store_dtype(cache: KVCache, kv_dtype: str = "float16") -> KVCache:
-    """Round-trip *cache* through the store dtype, in memory.
+def pack_layer_kv_f32(layer: LayerKV) -> bytes:
+    """Raw float32 bytes of one layer: keys then values, C order."""
+    return (
+        np.ascontiguousarray(layer.keys, dtype=_F32_DTYPE).tobytes()
+        + np.ascontiguousarray(layer.values, dtype=_F32_DTYPE).tobytes()
+    )
 
-    Returns exactly the cache that persisting with :func:`serialize_kv` (at
-    the same ``kv_dtype``) and loading again would produce — fp16 payload
-    up-cast to the float32 compute dtype, or int8 dequantised at the
-    per-tensor scale.  :class:`~repro.core.blend_engine.BlendEngine` stores
-    chunk caches through this so its in-memory fusion path and the
+
+def unpack_layer_kv_f32(
+    data: bytes, n_tokens: int, n_kv_heads: int, head_dim: int, offset: int = 0
+) -> LayerKV:
+    """Inverse of :func:`pack_layer_kv_f32` (zero-copy ``np.frombuffer``)."""
+    shape = (n_tokens, n_kv_heads, head_dim)
+    count = n_tokens * n_kv_heads * head_dim
+    keys = np.frombuffer(data, dtype=_F32_DTYPE, count=count, offset=offset).reshape(shape)
+    values = np.frombuffer(
+        data, dtype=_F32_DTYPE, count=count, offset=offset + count * _F32_DTYPE.itemsize
+    ).reshape(shape)
+    return LayerKV(keys, values)
+
+
+#: (pack, unpack) codec per element dtype; widths live in
+#: :func:`repro.kvstore.precision.layer_payload_nbytes`.
+_LAYER_CODECS = {
+    "float32": (pack_layer_kv_f32, unpack_layer_kv_f32),
+    "float16": (pack_layer_kv, unpack_layer_kv),
+    "int8": (pack_layer_kv_int8, unpack_layer_kv_int8),
+}
+
+
+def pack_layer_kv_as(layer: LayerKV, dtype: str) -> bytes:
+    """Pack one layer's K+V at *dtype* (``float32``/``float16``/``int8``)."""
+    try:
+        pack, _ = _LAYER_CODECS[dtype]
+    except KeyError:
+        raise ValueError(f"unknown layer dtype {dtype!r}") from None
+    return pack(layer)
+
+
+def unpack_layer_kv_as(
+    data: bytes, dtype: str, n_tokens: int, n_kv_heads: int, head_dim: int,
+    offset: int = 0,
+) -> LayerKV:
+    """Inverse of :func:`pack_layer_kv_as`."""
+    try:
+        _, unpack = _LAYER_CODECS[dtype]
+    except KeyError:
+        raise ValueError(f"unknown layer dtype {dtype!r}") from None
+    return unpack(data, n_tokens, n_kv_heads, head_dim, offset=offset)
+
+
+def _resolve_kv_dtype(kv_dtype: str | PrecisionPolicy) -> PrecisionPolicy:
+    """Resolve a ``kv_dtype`` argument, keeping the legacy error wording."""
+    try:
+        return PrecisionPolicy.get(kv_dtype)
+    except ValueError as error:
+        raise ValueError(f"unknown kv_dtype {kv_dtype!r}: {error}") from None
+
+
+def _quantize_layer(layer: LayerKV, dtype: str) -> LayerKV:
+    """Round-trip one layer through its store *dtype*, in memory."""
+    if dtype == "int8":
+        k_scale = int8_scale(layer.keys)
+        v_scale = int8_scale(layer.values)
+        return LayerKV(
+            dequantize_int8(quantize_int8(layer.keys, k_scale), k_scale),
+            dequantize_int8(quantize_int8(layer.values, v_scale), v_scale),
+        )
+    if dtype == "float16":
+        return LayerKV(
+            np.asarray(layer.keys, dtype=_KV_DTYPE),
+            np.asarray(layer.values, dtype=_KV_DTYPE),
+        )
+    if dtype == "float32":
+        return LayerKV(
+            np.asarray(layer.keys, dtype=_F32_DTYPE),
+            np.asarray(layer.values, dtype=_F32_DTYPE),
+        )
+    raise ValueError(f"unknown layer dtype {dtype!r}")
+
+
+def quantize_kv_to_store_dtype(
+    cache: KVCache, kv_dtype: str | PrecisionPolicy = "float16"
+) -> KVCache:
+    """Round-trip *cache* through the store precision, in memory.
+
+    ``kv_dtype`` is a uniform dtype name, a precision preset name
+    (``"mixed"``, ``"float32"``) or a
+    :class:`~repro.kvstore.precision.PrecisionPolicy`; each layer is
+    round-tripped at the dtype the resolved policy assigns it.  Returns
+    exactly the cache that persisting with :func:`serialize_kv` (at the
+    same precision) and loading again would produce — float payloads kept
+    at their storage dtype, int8 dequantised at the per-tensor scale.
+    :class:`~repro.core.blend_engine.BlendEngine` stores chunk caches
+    through this so its in-memory fusion path and the
     :class:`~repro.core.executor.PipelinedExecutor`'s byte-level load path
     see bit-identical KV — the store never silently holds more precision
     than it is priced (and serialized) at.
     """
-    if kv_dtype not in KV_STORE_DTYPES:
-        raise ValueError(
-            f"unknown kv_dtype {kv_dtype!r}; expected one of {KV_STORE_DTYPES}"
-        )
-    if kv_dtype == "int8":
-        layers = []
-        for layer in cache.layers:
-            k_scale = int8_scale(layer.keys)
-            v_scale = int8_scale(layer.values)
-            layers.append(
-                LayerKV(
-                    dequantize_int8(quantize_int8(layer.keys, k_scale), k_scale),
-                    dequantize_int8(quantize_int8(layer.values, v_scale), v_scale),
-                )
-            )
-    else:
-        layers = [
-            LayerKV(
-                np.asarray(layer.keys, dtype=_KV_DTYPE),
-                np.asarray(layer.values, dtype=_KV_DTYPE),
-            )
-            for layer in cache.layers
-        ]
+    policy = _resolve_kv_dtype(kv_dtype)
+    n_layers = cache.n_layers
+    layers = [
+        _quantize_layer(layer, policy.dtype_for_layer(i, n_layers))
+        for i, layer in enumerate(cache.layers)
+    ]
     return KVCache(layers, cache.token_ids.copy(), cache.positions.copy())
 
 
@@ -198,38 +281,83 @@ def _payload_checksum(data: bytes, offset: int = 0) -> str:
     return digest.hexdigest()
 
 
+def _uniform_layer_shape(cache: KVCache) -> tuple[int, int]:
+    """Validate uniform (n_kv_heads, head_dim) across layers and return it."""
+    if not cache.layers:
+        return 0, 0
+    n_kv_heads = cache.layers[0].keys.shape[1]
+    head_dim = cache.layers[0].keys.shape[2]
+    for i, layer in enumerate(cache.layers):
+        if layer.keys.shape[1:] != (n_kv_heads, head_dim):
+            raise ValueError(
+                f"layer {i} KV shape {layer.keys.shape[1:]} differs from "
+                f"layer 0 ({n_kv_heads}, {head_dim}); the raw format "
+                "requires uniform layer shapes"
+            )
+    return n_kv_heads, head_dim
+
+
+def _serialize_v5(cache: KVCache, policy: PrecisionPolicy) -> bytes:
+    """Write the ``RPKV5`` per-layer-dtype format (always checksummed)."""
+    n_kv_heads, head_dim = _uniform_layer_shape(cache)
+    table = list(policy.layer_dtype_table(cache.n_layers)) if cache.layers else []
+    header = {
+        "n_layers": cache.n_layers,
+        "n_tokens": cache.n_tokens,
+        "n_kv_heads": n_kv_heads,
+        "head_dim": head_dim,
+        "kv_dtype": "per_layer",
+        "layer_dtypes": table,
+        "policy": policy.name,
+        "idx_dtype": _IDX_DTYPE.name,
+        "scale_dtype": _SCALE_DTYPE.name,
+    }
+    payload_parts = [
+        np.ascontiguousarray(cache.token_ids, dtype=_IDX_DTYPE).tobytes(),
+        np.ascontiguousarray(cache.positions, dtype=_IDX_DTYPE).tobytes(),
+    ]
+    for layer, dtype in zip(cache.layers, table):
+        payload_parts.append(pack_layer_kv_as(layer, dtype))
+    payload = b"".join(payload_parts)
+    header["checksum"] = _payload_checksum(payload)
+    header_bytes = json.dumps(header).encode("utf-8")
+    return b"".join(
+        [_MAGIC_V5, len(header_bytes).to_bytes(4, "little"), header_bytes, payload]
+    )
+
+
 def serialize_kv(
-    cache: KVCache, kv_dtype: str = "float16", *, checksum: bool = True
+    cache: KVCache, kv_dtype: str | PrecisionPolicy = "float16", *, checksum: bool = True
 ) -> bytes:
     """Serialise *cache* into a self-describing byte string.
 
-    The default writes ``RPKV4``: header (shape, payload dtype, blake2b
-    payload checksum), token ids, positions, then the per-layer payload —
-    fp16 K/V bytes back to back for ``kv_dtype="float16"``, or for
-    ``kv_dtype="int8"`` each layer prefixed by its float32 (k_scale,
-    v_scale) pair with the K/V quantised to one byte per element (the
-    executed counterpart of the ``dtype_bytes=1`` pricing presets).
+    For the uniform legacy dtypes the default writes ``RPKV4``: header
+    (shape, payload dtype, blake2b payload checksum), token ids,
+    positions, then the per-layer payload — fp16 K/V bytes back to back
+    for ``kv_dtype="float16"``, or for ``kv_dtype="int8"`` each layer
+    prefixed by its float32 (k_scale, v_scale) pair with the K/V quantised
+    to one byte per element (the executed counterpart of the
+    ``dtype_bytes=1`` pricing presets).
+
+    Any other precision — ``"float32"``, the ``"mixed"`` preset, or a
+    :class:`~repro.kvstore.precision.PrecisionPolicy` whose per-layer map
+    the uniform formats cannot express — writes ``RPKV5``, whose header
+    carries the full per-layer dtype table (always checksummed).
 
     ``checksum=False`` writes the previous-generation ``RPKV2``/``RPKV3``
     formats (no integrity digest) — kept for back-compat round-trip tests
     and readers pinned to the legacy layout.
     """
-    if kv_dtype not in KV_STORE_DTYPES:
-        raise ValueError(
-            f"unknown kv_dtype {kv_dtype!r}; expected one of {KV_STORE_DTYPES}"
-        )
-    if cache.layers:
-        n_kv_heads = cache.layers[0].keys.shape[1]
-        head_dim = cache.layers[0].keys.shape[2]
-        for i, layer in enumerate(cache.layers):
-            if layer.keys.shape[1:] != (n_kv_heads, head_dim):
-                raise ValueError(
-                    f"layer {i} KV shape {layer.keys.shape[1:]} differs from "
-                    f"layer 0 ({n_kv_heads}, {head_dim}); the raw format "
-                    "requires uniform layer shapes"
-                )
-    else:
-        n_kv_heads = head_dim = 0
+    if not (isinstance(kv_dtype, str) and kv_dtype in KV_STORE_DTYPES):
+        policy = _resolve_kv_dtype(kv_dtype)
+        uniform = policy.uniform_dtype
+        if uniform in KV_STORE_DTYPES:
+            # Uniform fp16/int8 policies keep the RPKV4/2/3 wire format
+            # (bitwise-identical blobs to the pre-policy code).
+            kv_dtype = uniform
+        else:
+            return _serialize_v5(cache, policy)
+    n_kv_heads, head_dim = _uniform_layer_shape(cache)
     int8 = kv_dtype == "int8"
     header = {
         "n_layers": cache.n_layers,
@@ -262,14 +390,16 @@ def serialize_kv(
 
 
 def deserialize_kv(data: bytes) -> KVCache:
-    """Inverse of :func:`serialize_kv`; reads all of ``RPKV1``–``4``.
+    """Inverse of :func:`serialize_kv`; reads all of ``RPKV1``–``5``.
 
-    ``RPKV4`` payloads are integrity-checked first — a blake2b mismatch
-    raises :class:`KVCorruptionError` before any bytes are decoded.  The
-    fp16 payload is up-cast to the float32 compute dtype by
+    ``RPKV4``/``RPKV5`` payloads are integrity-checked first — a blake2b
+    mismatch raises :class:`KVCorruptionError` before any bytes are
+    decoded.  Float payloads are up-cast to the float32 compute dtype by
     :class:`~repro.model.tensors.LayerKV` (not to float64 as older versions
-    did); an int8 payload is dequantised at its per-tensor scales.
+    did); int8 payloads are dequantised at their per-tensor scales.
     """
+    if data.startswith(_MAGIC_V5):
+        return _deserialize_v5(data)
     if data.startswith(_MAGIC_V4):
         return _deserialize_v4(data)
     if data.startswith(_MAGIC_V3):
@@ -333,6 +463,43 @@ def _check_payload_dtype(header: dict, magic: bytes, allowed: tuple) -> None:
         )
 
 
+def _deserialize_v5(data: bytes) -> KVCache:
+    from repro.kvstore.precision import layer_payload_nbytes
+
+    header, offset = _read_header(data, _MAGIC_V5)
+    expected = header.get("checksum")
+    if not expected:
+        raise KVCorruptionError("RPKV5 header is missing its payload checksum")
+    actual = _payload_checksum(data, offset)
+    if actual != expected:
+        raise KVCorruptionError(
+            f"KV payload checksum mismatch: header {expected!r} vs "
+            f"payload {actual!r} (corrupted or truncated blob)"
+        )
+    n_layers = header["n_layers"]
+    n_tokens = header["n_tokens"]
+    n_kv_heads = header["n_kv_heads"]
+    head_dim = header["head_dim"]
+    table = header["layer_dtypes"]
+    if len(table) != n_layers:
+        raise ValueError(
+            f"RPKV5 layer dtype table has {len(table)} entries for "
+            f"{n_layers} layers"
+        )
+    idx_dtype = np.dtype(header["idx_dtype"])
+    token_ids = np.frombuffer(data, dtype=idx_dtype, count=n_tokens, offset=offset)
+    offset += n_tokens * idx_dtype.itemsize
+    positions = np.frombuffer(data, dtype=idx_dtype, count=n_tokens, offset=offset)
+    offset += n_tokens * idx_dtype.itemsize
+    layers = []
+    for dtype in table:
+        layers.append(
+            unpack_layer_kv_as(data, dtype, n_tokens, n_kv_heads, head_dim, offset=offset)
+        )
+        offset += layer_payload_nbytes(dtype, n_tokens, n_kv_heads, head_dim)
+    return KVCache(layers, token_ids, positions)
+
+
 def _deserialize_v4(data: bytes) -> KVCache:
     header, offset = _read_header(data, _MAGIC_V4)
     _check_payload_dtype(header, _MAGIC_V4, (_KV_DTYPE, _INT8_DTYPE))
@@ -374,10 +541,12 @@ def _deserialize_v1(data: bytes) -> KVCache:
     return KVCache(layers, archive["token_ids"], archive["positions"])
 
 
-def save_kv(cache: KVCache, path: str, kv_dtype: str = "float16") -> int:
+def save_kv(
+    cache: KVCache, path: str, kv_dtype: str | PrecisionPolicy = "float16"
+) -> int:
     """Persist *cache* to *path*; returns the number of bytes written.
 
-    ``kv_dtype`` selects the RPKV4 payload dtype exactly as in
+    ``kv_dtype`` selects the payload precision exactly as in
     :func:`serialize_kv`.
     """
     payload = serialize_kv(cache, kv_dtype=kv_dtype)

@@ -17,6 +17,7 @@ from typing import Callable
 import numpy as np
 
 from repro.kvstore.device import StorageDevice
+from repro.kvstore.precision import PrecisionPolicy
 from repro.kvstore.protocol import StoreLookup
 from repro.kvstore.serialization import kv_nbytes
 from repro.model.tensors import KVCache
@@ -115,6 +116,7 @@ class KVCacheStore:
         :meth:`write_delay`.
     dtype_bytes:
         Bytes per stored KV element (matches the model's KV dtype).
+        Ignored for byte accounting when ``precision`` is set.
     policy:
         Eviction policy (LRU by default, FIFO available for ablation).
     capacity_bytes:
@@ -125,6 +127,12 @@ class KVCacheStore:
         capacity-driven eviction — the hook :class:`~repro.kvstore.hierarchy.
         TieredKVStore` uses to demote victims to the next tier instead of
         dropping them.
+    precision:
+        Optional :class:`~repro.kvstore.precision.PrecisionPolicy` (or
+        preset name).  When set, byte accounting and eviction pressure use
+        the policy's per-layer element widths — an int8 policy literally
+        doubles the chunk count the same ``capacity_bytes`` holds vs fp16.
+        When ``None``, the scalar ``dtype_bytes`` width applies (legacy).
     """
 
     device: StorageDevice
@@ -133,6 +141,7 @@ class KVCacheStore:
     capacity_bytes: int | None = None
     stats: CacheStats = field(default_factory=CacheStats)
     on_evict: Callable[[str, KVCache], None] | None = field(default=None, repr=False)
+    precision: PrecisionPolicy | str | None = None
     _entries: "OrderedDict[str, _Entry]" = field(default_factory=OrderedDict)
 
     def __post_init__(self) -> None:
@@ -140,6 +149,14 @@ class KVCacheStore:
             self.capacity_bytes = self.device.capacity_bytes
         if self.capacity_bytes <= 0:
             raise ValueError("capacity_bytes must be positive")
+        if self.precision is not None:
+            self.precision = PrecisionPolicy.get(self.precision)
+
+    def cache_nbytes(self, cache: KVCache) -> int:
+        """Stored bytes of *cache* under this store's precision/width."""
+        if self.precision is not None:
+            return self.precision.cache_nbytes(cache)
+        return kv_nbytes(cache, self.dtype_bytes)
 
     # ------------------------------------------------------------------
     # Core operations
@@ -180,7 +197,7 @@ class KVCacheStore:
 
     def put(self, key: str, cache: KVCache) -> int:
         """Insert (or overwrite) a cache; returns bytes evicted to make room."""
-        nbytes = kv_nbytes(cache, self.dtype_bytes)
+        nbytes = self.cache_nbytes(cache)
         if nbytes > self.capacity_bytes:
             raise ValueError(
                 f"cache of {nbytes} bytes cannot fit in capacity {self.capacity_bytes}"
@@ -238,7 +255,7 @@ class KVCacheStore:
 
     def write_delay(self, cache: KVCache) -> float:
         """Simulated delay of writing *cache* to the device."""
-        return self.device.write_time(kv_nbytes(cache, self.dtype_bytes))
+        return self.device.write_time(self.cache_nbytes(cache))
 
     # ------------------------------------------------------------------
     # Introspection

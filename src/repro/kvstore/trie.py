@@ -37,6 +37,7 @@ from typing import Callable
 import numpy as np
 
 from repro.kvstore.device import StorageDevice
+from repro.kvstore.precision import PrecisionPolicy
 from repro.kvstore.protocol import StoreLookup
 from repro.kvstore.serialization import kv_nbytes
 from repro.kvstore.store import CacheStats, EvictionPolicy
@@ -105,6 +106,11 @@ class RadixTrieStore:
     ttl_s: float | None = None
     stats: CacheStats = field(default_factory=CacheStats)
     on_evict: Callable[[str, KVCache], None] | None = field(default=None, repr=False)
+    #: Optional per-layer precision policy; when set, row/entry byte
+    #: accounting uses the policy's per-layer element widths instead of the
+    #: scalar ``dtype_bytes`` (element widths are token-proportional, so
+    #: edge splits still conserve bytes exactly).
+    precision: PrecisionPolicy | str | None = None
     _entries: "OrderedDict[str, _TrieEntry]" = field(default_factory=OrderedDict)
     _root: _TrieNode = field(
         default_factory=lambda: _TrieNode(
@@ -120,6 +126,14 @@ class RadixTrieStore:
             raise ValueError("capacity_bytes must be positive")
         if self.ttl_s is not None and self.ttl_s <= 0:
             raise ValueError("ttl_s must be positive when set")
+        if self.precision is not None:
+            self.precision = PrecisionPolicy.get(self.precision)
+
+    def cache_nbytes(self, cache: KVCache) -> int:
+        """Logical stored bytes of *cache* under this store's precision."""
+        if self.precision is not None:
+            return self.precision.cache_nbytes(cache)
+        return kv_nbytes(cache, self.dtype_bytes)
 
     # ------------------------------------------------------------------
     # Core operations
@@ -157,7 +171,7 @@ class RadixTrieStore:
         Returns the bytes evicted to make room (deduplicated bytes actually
         freed, like :meth:`KVCacheStore.put` returns entry bytes dropped).
         """
-        nbytes = kv_nbytes(cache, self.dtype_bytes)
+        nbytes = self.cache_nbytes(cache)
         if nbytes > self.capacity_bytes:
             raise ValueError(
                 f"cache of {nbytes} bytes cannot fit in capacity {self.capacity_bytes}"
@@ -229,7 +243,7 @@ class RadixTrieStore:
 
     def write_delay(self, cache: KVCache) -> float:
         """Simulated delay of writing *cache* to the device."""
-        return self.device.write_time(kv_nbytes(cache, self.dtype_bytes))
+        return self.device.write_time(self.cache_nbytes(cache))
 
     # ------------------------------------------------------------------
     # Introspection
@@ -312,6 +326,8 @@ class RadixTrieStore:
             self.stats.expirations += 1
 
     def _rows_nbytes(self, layers: list[LayerKV]) -> int:
+        if self.precision is not None:
+            return self.precision.rows_nbytes(layers)
         return sum(layer.nbytes(self.dtype_bytes) for layer in layers)
 
     def _make_node(

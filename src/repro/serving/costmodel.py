@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.pipeline import PipelineTrace, pipelined_time, sequential_time
 from repro.kvstore.device import StorageDevice
+from repro.kvstore.precision import PrecisionPolicy
 from repro.model.config import ModelConfig
 
 
@@ -246,16 +247,26 @@ class ServingCostModel:
     least one measured executor trace), :meth:`ttft_cacheblend_measured`
     estimates CacheBlend's pipeline delay from the observed per-layer
     load/compute rates instead of the static analytic constants.
+
+    ``precision`` (a :class:`~repro.kvstore.precision.PrecisionPolicy` or a
+    preset name) overrides the architecture's ``dtype_bytes`` for every KV
+    bandwidth term — loading delays and decode memory traffic are priced at
+    the policy's mean bytes per element — so the cost model agrees with the
+    store that actually holds the bytes.  ``None`` keeps the legacy
+    behaviour (the model preset's scalar ``dtype_bytes``).
     """
 
     model: ModelConfig
     gpu: GPUSpec = field(default_factory=GPUSpec)
     n_gpus: int = 1
     calibration: OnlineCostCalibration | None = None
+    precision: PrecisionPolicy | str | None = None
 
     def __post_init__(self) -> None:
         if self.n_gpus < 1:
             raise ValueError("n_gpus must be >= 1")
+        if self.precision is not None:
+            self.precision = PrecisionPolicy.get(self.precision)
 
     # ------------------------------------------------------------------
     # Prefill / recompute
@@ -316,7 +327,7 @@ class ServingCostModel:
         params = self.model.approx_parameters()
         compute = 2.0 * params * batch_size / self._effective_flops
         weight_bytes = params * self.model.dtype_bytes
-        kv_bytes = self.model.kv_bytes(context_tokens) * batch_size
+        kv_bytes = self.kv_bytes(context_tokens) * batch_size
         memory = (weight_bytes + kv_bytes) / (self.gpu.hbm_bandwidth * self.n_gpus)
         return max(compute, memory)
 
@@ -339,7 +350,7 @@ class ServingCostModel:
         compute = 2.0 * params * batch_size / self._effective_flops
         bandwidth = self.gpu.hbm_bandwidth * self.n_gpus
         weight_bytes = params * self.model.dtype_bytes
-        kv_per_token = self.model.kv_bytes_per_token() * batch_size
+        kv_per_token = self.kv_bytes_per_token() * batch_size
         first, last = context_tokens, context_tokens + n_new_tokens - 1
         if (weight_bytes + kv_per_token * last) / bandwidth <= compute:
             return n_new_tokens * compute  # compute-bound for the whole decode
@@ -359,12 +370,24 @@ class ServingCostModel:
     # ------------------------------------------------------------------
     # KV loading
     # ------------------------------------------------------------------
+    def kv_bytes_per_token_per_layer(self) -> float:
+        """Stored K+V bytes per token per layer at the effective precision."""
+        if self.precision is not None:
+            return self.precision.kv_bytes_per_token_per_layer(
+                self.model.n_kv_heads, self.model.head_dim, self.model.n_layers
+            )
+        return float(self.model.kv_bytes_per_token_per_layer())
+
+    def kv_bytes_per_token(self) -> float:
+        """Stored KV bytes per token across layers at the effective precision."""
+        return self.model.n_layers * self.kv_bytes_per_token_per_layer()
+
     def kv_bytes(self, n_tokens: int) -> int:
-        return self.model.kv_bytes(n_tokens)
+        return int(round(n_tokens * self.kv_bytes_per_token()))
 
     def kv_load_time_per_layer(self, n_tokens: int, device: StorageDevice) -> float:
         """Delay of loading one layer's KV for *n_tokens* from *device*."""
-        layer_bytes = n_tokens * self.model.kv_bytes_per_token_per_layer()
+        layer_bytes = n_tokens * self.kv_bytes_per_token_per_layer()
         return device.read_time(layer_bytes)
 
     def kv_load_time(self, n_tokens: int, device: StorageDevice) -> float:

@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.deviation import (
     attention_deviation,
+    deviation_cdf,
     layer_rank_correlation,
     token_kv_deviation,
 )
@@ -78,3 +79,48 @@ class TestAttentionDeviation:
     def test_rank_correlation_of_reversed_rankings(self):
         deviation = np.array([1.0, 2.0, 3.0, 4.0])
         assert layer_rank_correlation(deviation, deviation[::-1]) == pytest.approx(-1.0)
+
+
+class TestLayerRankCorrelationEdgeCases:
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="same shape"):
+            layer_rank_correlation(np.ones(4), np.ones(5))
+
+    def test_fewer_than_two_tokens_raises(self):
+        with pytest.raises(ValueError, match="at least two"):
+            layer_rank_correlation(np.ones(1), np.ones(1))
+
+    def test_constant_input_returns_zero(self):
+        constant = np.full(6, 0.25)
+        varying = np.arange(6, dtype=np.float64)
+        assert layer_rank_correlation(constant, varying) == 0.0
+        assert layer_rank_correlation(varying, constant) == 0.0
+
+
+class TestDeviationCDF:
+    def test_shapes_and_quantile_range(self):
+        rng = np.random.default_rng(0)
+        values, quantiles = deviation_cdf(rng.random(100), n_points=25)
+        assert values.shape == (25,)
+        assert quantiles.shape == (25,)
+        assert quantiles[0] == 0.0
+        assert quantiles[-1] == 1.0
+
+    def test_values_are_monotone_and_span_the_sample(self):
+        deviation = np.array([3.0, 1.0, 4.0, 1.5, 9.0, 2.6])
+        values, _ = deviation_cdf(deviation)
+        assert np.all(np.diff(values) >= 0.0)
+        assert values[0] == pytest.approx(deviation.min())
+        assert values[-1] == pytest.approx(deviation.max())
+
+    def test_heavy_tail_is_visible(self):
+        # 90% tiny deviations, 10% large: the CDF median sits near zero
+        # while the top decile carries the mass (the paper's Figure 7 shape).
+        deviation = np.concatenate([np.full(90, 0.01), np.full(10, 1.0)])
+        values, quantiles = deviation_cdf(deviation, n_points=101)
+        assert values[np.searchsorted(quantiles, 0.5)] == pytest.approx(0.01)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            deviation_cdf(np.array([]))

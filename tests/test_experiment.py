@@ -575,3 +575,110 @@ class TestRobustnessSchema:
         assert config.ttft_slo_s == 8.0
         assert config.admission_policies == ("none", "slo")
         assert config.fault_rate == 0.05
+
+
+class TestPrecisionAxis:
+    """The KV precision sweep axis: dtype-priced bytes + measured quality."""
+
+    @pytest.fixture(scope="class")
+    def dtype_report(self):
+        config = ExperimentConfig(
+            models=("mistral-7b",),
+            devices=("nvme_ssd",),
+            schemes=("cacheblend", "full_recompute"),
+            n_requests=40,
+            kv_dtypes=("float16", "int8", "mixed"),
+            seed=0,
+        )
+        return ExperimentRunner(config).run()
+
+    def test_axis_multiplies_the_cell_count(self, dtype_report):
+        config = dtype_report.config
+        expected = (
+            len(config.kv_dtypes)
+            * len(config.models)
+            * len(config.devices)
+            * len(config.schemes)
+            * len(config.recompute_ratios)
+        )
+        assert len(dtype_report.cells) == expected
+
+    def test_cells_carry_the_precision_columns(self, dtype_report):
+        for cell in dtype_report.cells:
+            assert cell.kv_dtype in ("float16", "int8", "mixed")
+            assert cell.store_bytes_stored > 0
+            assert cell.mean_kv_deviation is not None
+            assert cell.mean_kv_deviation >= 0.0
+            assert cell.mean_attention_deviation >= 0.0
+
+    def test_int8_stores_exactly_half_the_bytes_of_float16(self, dtype_report):
+        by_dtype = {
+            cell.kv_dtype: cell
+            for cell in dtype_report.cells
+            if cell.scheme == "cacheblend"
+        }
+        assert by_dtype["int8"].store_bytes_stored * 2 == (
+            by_dtype["float16"].store_bytes_stored
+        )
+        # mixed sits strictly between the uniform widths.
+        assert (
+            by_dtype["int8"].store_bytes_stored
+            < by_dtype["mixed"].store_bytes_stored
+            < by_dtype["float16"].store_bytes_stored
+        )
+
+    def test_measured_quality_orders_with_precision(self, dtype_report):
+        """The frontier's quality axis: wider KV dtypes deviate less, and the
+        per-layer mixed policy lands at or below uniform int8."""
+        by_dtype = {
+            cell.kv_dtype: cell
+            for cell in dtype_report.cells
+            if cell.scheme == "cacheblend"
+        }
+        assert by_dtype["float16"].mean_kv_deviation < by_dtype["mixed"].mean_kv_deviation
+        assert by_dtype["mixed"].mean_kv_deviation <= by_dtype["int8"].mean_kv_deviation
+
+    def test_dtype_comparison_rows(self, dtype_report):
+        all_rows = [
+            row
+            for row in dtype_report.comparisons
+            if str(row.get("comparison", "")).startswith("dtype_")
+        ]
+        # int8 and mixed vs the float16 baseline, for each of the 2 schemes.
+        assert len(all_rows) == 4
+        rows = {
+            str(row["comparison"]): row
+            for row in all_rows
+            if row["scheme"] == "cacheblend"
+        }
+        int8_row = rows["dtype_int8_vs_float16"]
+        assert int8_row["bytes_density_gain"] == pytest.approx(2.0)
+        assert int8_row["int8_denser_than_float16"] is True
+        mixed_row = rows["dtype_mixed_vs_float16"]
+        assert 1.0 < mixed_row["bytes_density_gain"] < 2.0
+
+    def test_document_validates(self, dtype_report):
+        document = report_to_dict(dtype_report)
+        assert document["schema_version"] == SCHEMA_VERSION
+        validate_report(document)
+
+    def test_precision_columns_are_null_without_the_axis(self, report):
+        for cell in report.cells:
+            assert cell.kv_dtype is None
+            assert cell.mean_kv_deviation is None
+            assert cell.mean_attention_deviation is None
+
+    def test_dtype_validation(self):
+        with pytest.raises(ValueError, match="kv_dtype"):
+            ExperimentConfig(kv_dtypes=("int4",))
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            ExperimentConfig(kv_dtypes=("int8",), fleet_sizes=(2,))
+
+    def test_cli_flags_reach_the_config(self):
+        from repro.bench.__main__ import build_parser, config_from_args
+
+        args = build_parser().parse_args(
+            ["--smoke", "--kv-dtypes", "float16", "int8"]
+        )
+        config = config_from_args(args)
+        assert config.kv_dtypes == ("float16", "int8")

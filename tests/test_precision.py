@@ -1,0 +1,473 @@
+"""Unified KV precision policy: per-layer dtype maps end to end.
+
+Covers the precision tentpole: the :class:`PrecisionPolicy` map itself, the
+RPKV1–5 wire-format matrix, int8 quantisation idempotence, store byte
+accounting (whole-chunk / trie dedup / tiered demotion at non-fp16 widths),
+the backend-pricing parity regression (identical payloads used to be priced
+differently on chunk vs trie backends), fp16 equivalence with the
+pre-policy behaviour, and the executor's per-layer wire precision.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.blend_engine import BlendEngine
+from repro.core.executor import PipelinedExecutor
+from repro.core.fusor import FusorConfig
+from repro.kvstore.config import StoreConfig
+from repro.kvstore.device import get_device
+from repro.kvstore.hierarchy import TieredKVStore
+from repro.kvstore.precision import (
+    INT8_SCALE_OVERHEAD,
+    PRECISION_PRESETS,
+    PrecisionPolicy,
+    layer_payload_nbytes,
+)
+from repro.kvstore.serialization import (
+    KVCorruptionError,
+    deserialize_kv,
+    kv_nbytes,
+    quantize_kv_to_store_dtype,
+    serialize_kv,
+)
+from repro.kvstore.store import KVCacheStore
+from repro.kvstore.trie import RadixTrieStore
+from repro.model.config import get_config
+from repro.model.tensors import KVCache, LayerKV
+from repro.model.transformer import TransformerModel
+
+
+def _make_cache(n_tokens=6, n_layers=4, n_kv_heads=2, head_dim=4, seed=0) -> KVCache:
+    rng = np.random.default_rng(seed)
+    layers = [
+        LayerKV(
+            rng.normal(size=(n_tokens, n_kv_heads, head_dim)).astype(np.float32),
+            rng.normal(size=(n_tokens, n_kv_heads, head_dim)).astype(np.float32),
+        )
+        for _ in range(n_layers)
+    ]
+    return KVCache(layers, np.arange(n_tokens), np.arange(n_tokens))
+
+
+def _deterministic_cache(token_ids, n_layers: int = 4) -> KVCache:
+    """KV rows deterministic per (token id, position, layer) — equal token
+    prefixes yield equal KV rows, as a real chunk prefill would."""
+    ids = np.asarray(token_ids, dtype=np.int64)
+    positions = np.arange(ids.size, dtype=np.int64)
+    layers = []
+    for layer in range(n_layers):
+        base = ((ids * 31 + positions * 7 + layer) % 97).astype(np.float32) / 97.0
+        rows = np.repeat(base, 4).reshape(ids.size, 1, 4)
+        layers.append(LayerKV(rows.copy(), rows + 0.5))
+    return KVCache(layers, ids, positions)
+
+
+def _caches_equal(a: KVCache, b: KVCache) -> bool:
+    return all(
+        np.array_equal(la.keys, lb.keys) and np.array_equal(la.values, lb.values)
+        for la, lb in zip(a.layers, b.layers)
+    )
+
+
+class TestPolicyResolution:
+    def test_none_resolves_to_float16(self):
+        assert PrecisionPolicy.get(None).name == "float16"
+
+    def test_string_resolves_to_preset(self):
+        for name in PRECISION_PRESETS:
+            assert PrecisionPolicy.get(name).name == name
+
+    def test_policy_passes_through(self):
+        policy = PrecisionPolicy("int8")
+        assert PrecisionPolicy.get(policy) is policy
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown precision policy"):
+            PrecisionPolicy("int4")
+
+    def test_non_spec_type_rejected(self):
+        with pytest.raises(TypeError):
+            PrecisionPolicy.get(8)
+
+    def test_explicit_layer_dtypes_validated(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            PrecisionPolicy(layer_dtypes=())
+        with pytest.raises(ValueError, match="unknown layer dtype"):
+            PrecisionPolicy(layer_dtypes=("float16", "bfloat16"))
+
+    def test_explicit_layer_count_must_match_model(self):
+        policy = PrecisionPolicy(layer_dtypes=("float16", "int8"))
+        assert policy.layer_dtype_table(2) == ("float16", "int8")
+        with pytest.raises(ValueError, match="pins 2 layer dtypes"):
+            policy.dtype_for_layer(0, 3)
+
+
+class TestLayerMap:
+    def test_uniform_presets_map_every_layer(self):
+        for name in ("float32", "float16", "int8"):
+            assert PrecisionPolicy(name).layer_dtype_table(4) == (name,) * 4
+
+    def test_mixed_keeps_first_quarter_fp16(self):
+        table = PrecisionPolicy("mixed").layer_dtype_table(8)
+        assert table == ("float16",) * 2 + ("int8",) * 6
+
+    def test_mixed_keeps_at_least_one_fp16_layer(self):
+        assert PrecisionPolicy("mixed").layer_dtype_table(1) == ("float16",)
+        assert PrecisionPolicy("mixed").layer_dtype_table(2) == ("float16", "int8")
+
+    def test_uniform_dtype_detection(self):
+        assert PrecisionPolicy("int8").uniform_dtype == "int8"
+        assert PrecisionPolicy("mixed").uniform_dtype is None
+        assert PrecisionPolicy(layer_dtypes=("int8", "int8")).uniform_dtype == "int8"
+        assert PrecisionPolicy(layer_dtypes=("float16", "int8")).uniform_dtype is None
+
+
+class TestByteAccounting:
+    def test_mean_elem_bytes(self):
+        assert PrecisionPolicy("float16").mean_elem_bytes(8) == 2.0
+        assert PrecisionPolicy("int8").mean_elem_bytes(8) == 1.0
+        # 2 fp16 layers + 6 int8 layers over 8.
+        assert PrecisionPolicy("mixed").mean_elem_bytes(8) == pytest.approx(1.25)
+
+    def test_int8_cache_is_exactly_half_of_fp16(self):
+        cache = _make_cache()
+        fp16 = PrecisionPolicy("float16").cache_nbytes(cache)
+        int8 = PrecisionPolicy("int8").cache_nbytes(cache)
+        assert fp16 == kv_nbytes(cache, 2)
+        assert int8 * 2 == fp16
+
+    def test_kv_bytes_per_token_per_layer(self):
+        policy = PrecisionPolicy("mixed")
+        assert policy.kv_bytes_per_token_per_layer(2, 4, 8) == pytest.approx(
+            2.0 * 2 * 4 * 1.25
+        )
+
+    def test_payload_width_carries_int8_scale_overhead(self):
+        elements = 2 * 6 * 2 * 4
+        assert layer_payload_nbytes("float16", 6, 2, 4) == elements * 2
+        assert layer_payload_nbytes("float32", 6, 2, 4) == elements * 4
+        assert layer_payload_nbytes("int8", 6, 2, 4) == elements + INT8_SCALE_OVERHEAD
+        with pytest.raises(ValueError, match="unknown element dtype"):
+            layer_payload_nbytes("mixed", 6, 2, 4)
+
+    def test_cache_payload_matches_serialized_layer_bytes(self):
+        cache = _make_cache()
+        for name in PRECISION_PRESETS:
+            policy = PrecisionPolicy.get(name)
+            payload = serialize_kv(cache, policy)
+            restored = deserialize_kv(payload)
+            assert _caches_equal(restored, policy.quantize(cache))
+            # The serialized blob carries header + ids + the layer payloads;
+            # the policy's payload accounting must cover the layer bytes.
+            index_bytes = 2 * cache.n_tokens * 8
+            assert policy.cache_payload_nbytes(cache) <= len(payload) - index_bytes
+
+
+class TestQuantizeIdempotence:
+    @pytest.mark.parametrize("dtype", ["float32", "float16", "int8", "mixed"])
+    def test_double_round_trip_is_identity(self, dtype):
+        cache = _make_cache(seed=3)
+        once = quantize_kv_to_store_dtype(cache, dtype)
+        twice = quantize_kv_to_store_dtype(once, dtype)
+        assert _caches_equal(once, twice)
+
+    def test_policy_quantize_matches_function(self):
+        cache = _make_cache(seed=5)
+        assert _caches_equal(
+            PrecisionPolicy("mixed").quantize(cache),
+            quantize_kv_to_store_dtype(cache, "mixed"),
+        )
+
+    def test_float16_policy_matches_legacy_string(self):
+        cache = _make_cache(seed=7)
+        assert _caches_equal(
+            quantize_kv_to_store_dtype(cache, PrecisionPolicy("float16")),
+            quantize_kv_to_store_dtype(cache, "float16"),
+        )
+
+
+class TestWireFormatMatrix:
+    """RPKV1–5 × checksum × dtype: every combination stays readable."""
+
+    @pytest.mark.parametrize(
+        "kv_dtype,checksum,magic",
+        [
+            ("float16", True, b"RPKV4\n"),
+            ("float16", False, b"RPKV2\n"),
+            ("int8", True, b"RPKV4\n"),
+            ("int8", False, b"RPKV3\n"),
+            ("float32", True, b"RPKV5\n"),
+            ("mixed", True, b"RPKV5\n"),
+        ],
+    )
+    def test_format_round_trips(self, kv_dtype, checksum, magic):
+        cache = _make_cache(seed=11)
+        payload = serialize_kv(cache, kv_dtype, checksum=checksum)
+        assert payload.startswith(magic)
+        restored = deserialize_kv(payload)
+        assert np.array_equal(restored.token_ids, cache.token_ids)
+        assert np.array_equal(restored.positions, cache.positions)
+        assert _caches_equal(restored, quantize_kv_to_store_dtype(cache, kv_dtype))
+
+    def test_non_uniform_explicit_policy_writes_v5(self):
+        cache = _make_cache(n_layers=3, seed=13)
+        policy = PrecisionPolicy(layer_dtypes=("float32", "float16", "int8"))
+        payload = serialize_kv(cache, policy)
+        assert payload.startswith(b"RPKV5\n")
+        restored = deserialize_kv(payload)
+        assert _caches_equal(restored, policy.quantize(cache))
+        # Layer 0 is stored at full fp32 width: bitwise-lossless.
+        assert np.array_equal(restored.layers[0].keys, cache.layers[0].keys)
+
+    def test_uniform_fp16_policy_blob_is_bitwise_legacy(self):
+        """The fp16 policy path must not change the wire format."""
+        cache = _make_cache(seed=17)
+        assert serialize_kv(cache, PrecisionPolicy("float16")) == serialize_kv(cache)
+        assert serialize_kv(cache, PrecisionPolicy("int8")) == serialize_kv(
+            cache, "int8"
+        )
+
+    def test_v5_header_carries_layer_dtype_table(self):
+        cache = _make_cache(n_layers=8, seed=19)
+        payload = serialize_kv(cache, "mixed")
+        header_len = int.from_bytes(payload[6:10], "little")
+        header = json.loads(payload[10 : 10 + header_len])
+        assert header["kv_dtype"] == "per_layer"
+        assert header["policy"] == "mixed"
+        assert tuple(header["layer_dtypes"]) == ("float16",) * 2 + ("int8",) * 6
+
+    def test_v5_payload_corruption_detected(self):
+        blob = bytearray(serialize_kv(_make_cache(seed=23), "mixed"))
+        blob[-1] ^= 0xFF
+        with pytest.raises(KVCorruptionError):
+            deserialize_kv(bytes(blob))
+
+    def test_v1_legacy_still_readable(self):
+        cache = _make_cache(seed=29)
+        buffer = io.BytesIO()
+        buffer.write(b"RPKV1\n")
+        header = json.dumps(
+            {"n_layers": cache.n_layers, "n_tokens": cache.n_tokens}
+        ).encode("utf-8")
+        buffer.write(len(header).to_bytes(4, "little"))
+        buffer.write(header)
+        arrays = {
+            "token_ids": cache.token_ids.astype(np.int64),
+            "positions": cache.positions.astype(np.int64),
+        }
+        for i, layer in enumerate(cache.layers):
+            arrays[f"k{i}"] = layer.keys.astype(np.float16)
+            arrays[f"v{i}"] = layer.values.astype(np.float16)
+        np.savez(buffer, **arrays)
+        restored = deserialize_kv(buffer.getvalue())
+        assert restored.n_layers == cache.n_layers
+        for layer, ref in zip(restored.layers, cache.layers):
+            assert np.allclose(layer.keys, ref.keys, rtol=1e-2, atol=1e-2)
+
+
+class TestStoreAccounting:
+    """Satellite: nbytes under non-fp16 payloads across all three backends."""
+
+    def test_chunk_store_int8_doubles_effective_capacity(self):
+        cache = _deterministic_cache(range(8))
+        fp16_bytes = PrecisionPolicy("float16").cache_nbytes(cache)
+        # Capacity sized to hold exactly two caches at fp16 width...
+        fp16_store = KVCacheStore(
+            device=get_device("cpu_ram"),
+            capacity_bytes=2 * fp16_bytes,
+            precision="float16",
+        )
+        int8_store = KVCacheStore(
+            device=get_device("cpu_ram"),
+            capacity_bytes=2 * fp16_bytes,
+            precision="int8",
+        )
+        for i in range(4):
+            payload = _deterministic_cache(range(10 * i, 10 * i + 8))
+            fp16_store.put(f"c{i}", payload)
+            int8_store.put(f"c{i}", payload)
+        # ...holds four at int8 width, in the same byte budget.
+        assert fp16_store.n_entries == 2
+        assert int8_store.n_entries == 4
+        assert int8_store.bytes_stored == fp16_store.bytes_stored
+
+    @pytest.mark.parametrize("dtype", ["int8", "mixed"])
+    def test_trie_suffix_dedup_conserves_bytes(self, dtype):
+        policy = PrecisionPolicy.get(dtype)
+        store = RadixTrieStore(device=get_device("cpu_ram"), precision=policy)
+        a = _deterministic_cache([1, 2, 3, 4, 5, 6, 7, 8])
+        b = _deterministic_cache([1, 2, 3, 4, 9, 10, 11, 12])
+        store.put("a", a)
+        store.put("b", b)
+        # 12 unique token rows resident; element-width accounting is exactly
+        # token-proportional, so the edge split conserves bytes.
+        per_cache = policy.cache_nbytes(a)
+        assert store.bytes_stored == per_cache + per_cache // 2
+        assert store.logical_bytes == 2 * per_cache
+        for key, original in (("a", a), ("b", b)):
+            fetched = store.get(key)
+            assert _caches_equal(fetched, original)
+
+    def test_tiered_demotion_accounts_at_payload_dtype(self):
+        policy = PrecisionPolicy("int8")
+        caches = [_deterministic_cache(range(10 * i, 10 * i + 8)) for i in range(3)]
+        per_cache = policy.cache_nbytes(caches[0])
+        fast = KVCacheStore(
+            device=get_device("cpu_ram"),
+            capacity_bytes=per_cache,
+            precision=policy,
+        )
+        slow = KVCacheStore(
+            device=get_device("nvme_ssd"),
+            capacity_bytes=4 * per_cache,
+            precision=policy,
+        )
+        store = TieredKVStore(tiers=[fast, slow])
+        for i, cache in enumerate(caches):
+            store.put(f"c{i}", cache)
+        # Each insert evicts the previous resident of the RAM tier, which
+        # cascades into the slow tier at the same int8 width.
+        assert fast.bytes_stored == per_cache
+        assert slow.bytes_stored == 2 * per_cache
+        assert store.bytes_stored == 3 * per_cache
+        for i, cache in enumerate(caches):
+            assert _caches_equal(store.get(f"c{i}"), cache)
+
+
+class TestBackendPricingParity:
+    """Satellite regression: one policy prices every backend identically.
+
+    Pre-fix, ``BlendEngine.build`` priced chunk-backend stores at the paper
+    model's *timing* width (1 byte/element on Yi-34B) while trie/tiered
+    backends accounted at the fp16 store width — the same payload cost
+    different bytes depending on the backend holding it.
+    """
+
+    @pytest.mark.parametrize("backend", ["trie", "tiered_trie"])
+    def test_chunk_and_dedup_backends_account_identical_bytes(self, backend):
+        chunk_engine = BlendEngine.build(
+            paper_model="Yi-34B", device="cpu_ram", seed=0,
+            store=StoreConfig(backend="chunk"),
+        )
+        other_engine = BlendEngine.build(
+            paper_model="Yi-34B", device="cpu_ram", seed=0,
+            store=StoreConfig(backend=backend),
+        )
+        # Disjoint-prefix chunks so the trie cannot dedup anything: byte
+        # parity must come from equal pricing, not from shared rows.
+        texts = ["alpha bravo charlie delta", "echo foxtrot golf hotel"]
+        chunk_engine.precompute_chunks(texts)
+        other_engine.precompute_chunks(texts)
+        assert chunk_engine.kv_store.bytes_stored > 0
+        assert chunk_engine.kv_store.bytes_stored == other_engine.kv_store.bytes_stored
+
+    def test_engine_precision_derives_from_store_for_all_backends(self):
+        for backend in ("chunk", "trie", "tiered", "tiered_trie"):
+            engine = BlendEngine.build(
+                paper_model="Yi-34B", device="cpu_ram", seed=0,
+                store=StoreConfig(backend=backend, kv_dtype="int8"),
+            )
+            assert engine.precision.name == "int8"
+            assert engine.kv_dtype == "int8"
+
+
+class TestEnginePrecision:
+    def test_fp16_default_unchanged_by_policy_plumbing(self):
+        """Explicit float16 policy is the default: identical generations and
+        bitwise-identical fused KV."""
+        chunks = ["the cat sat on the mat", "the dog slept by the door"]
+        question = "who sat where?"
+        default_engine = BlendEngine.build(paper_model="Mistral-7B", seed=0)
+        explicit_engine = BlendEngine.build(
+            paper_model="Mistral-7B", seed=0,
+            store=StoreConfig(kv_dtype="float16"),
+        )
+        for engine in (default_engine, explicit_engine):
+            engine.precompute_chunks(chunks)
+        default_result = default_engine.run(chunks, question, max_new_tokens=4)
+        explicit_result = explicit_engine.run(chunks, question, max_new_tokens=4)
+        assert default_result.generated_ids == explicit_result.generated_ids
+        assert _caches_equal(
+            default_result.fusion.kv_cache, explicit_result.fusion.kv_cache
+        )
+
+    @pytest.mark.parametrize("kv_dtype", ["int8", "mixed"])
+    def test_quantised_store_serves_and_stays_close(self, kv_dtype):
+        chunks = ["the cat sat on the mat", "the dog slept by the door"]
+        question = "who sat where?"
+        reference = BlendEngine.build(paper_model="Mistral-7B", seed=0)
+        quantised = BlendEngine.build(
+            paper_model="Mistral-7B", seed=0,
+            store=StoreConfig(kv_dtype=kv_dtype),
+        )
+        reference.precompute_chunks(chunks)
+        quantised.precompute_chunks(chunks)
+        assert (
+            quantised.kv_store.bytes_stored < reference.kv_store.bytes_stored
+        )
+        result = quantised.run(chunks, question, max_new_tokens=4)
+        ref_result = reference.run(chunks, question, max_new_tokens=4)
+        assert len(result.generated_ids) == len(ref_result.generated_ids)
+        for layer, ref_layer in zip(
+            result.fusion.kv_cache.layers, ref_result.fusion.kv_cache.layers
+        ):
+            assert np.allclose(layer.keys, ref_layer.keys, rtol=0.2, atol=0.2)
+
+
+class TestExecutorPrecision:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return TransformerModel(get_config("small"), seed=0)
+
+    @pytest.fixture(scope="class")
+    def request_inputs(self, model):
+        rng = np.random.default_rng(0)
+        chunk_caches = [
+            model.chunk_prefill(
+                rng.integers(4, model.config.vocab_size, size=32).astype(np.int64)
+            )
+            for _ in range(2)
+        ]
+        suffix = rng.integers(4, model.config.vocab_size, size=8).astype(np.int64)
+        return chunk_caches, suffix
+
+    def test_plan_prices_layers_at_policy_payload_width(self, model, request_inputs):
+        chunk_caches, suffix = request_inputs
+        device = get_device("nvme_ssd")
+        plans = {}
+        for dtype in ("float16", "int8", "mixed"):
+            executor = PipelinedExecutor(
+                model, FusorConfig(recompute_ratio=0.2),
+                device=device, precision=dtype,
+            )
+            plans[dtype] = executor._plan_request(chunk_caches, suffix, None)
+        n_layers = model.config.n_layers
+        assert plans["float16"].layer_dtypes == ("float16",) * n_layers
+        assert plans["int8"].layer_dtypes == ("int8",) * n_layers
+        assert plans["mixed"].layer_dtypes == PrecisionPolicy("mixed").layer_dtype_table(
+            n_layers
+        )
+        # Narrower payloads load faster, layer by layer.
+        for fp16_delay, int8_delay in zip(
+            plans["float16"].layer_delays, plans["int8"].layer_delays
+        ):
+            assert int8_delay < fp16_delay
+        # Mixed: fp16-priced early layers, int8-priced late layers.
+        assert plans["mixed"].layer_delays[0] == plans["float16"].layer_delays[0]
+        assert plans["mixed"].layer_delays[-1] == plans["int8"].layer_delays[-1]
+
+    @pytest.mark.parametrize("dtype", ["int8", "mixed"])
+    def test_executes_through_quantised_wire_format(self, model, request_inputs, dtype):
+        chunk_caches, suffix = request_inputs
+        quantised = [quantize_kv_to_store_dtype(c, dtype) for c in chunk_caches]
+        executor = PipelinedExecutor(
+            model, FusorConfig(recompute_ratio=0.2),
+            layer_load_time=0.0005, precision=dtype,
+        )
+        result = executor.execute(quantised, suffix, pipelined=True)
+        reference = executor.execute(quantised, suffix, pipelined=False)
+        # Pipelined and sequential execution agree bitwise at any precision.
+        assert _caches_equal(result.fusion.kv_cache, reference.fusion.kv_cache)

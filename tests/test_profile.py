@@ -5,6 +5,7 @@ import copy
 import pytest
 
 from repro.bench.profile import (
+    PROFILE_SCHEMA_VERSION,
     ProfileConfig,
     check_against_baseline,
     format_profile_summary,
@@ -137,7 +138,7 @@ class TestDecodeSessionProfile:
 
     def test_session_op_is_timed_and_validated(self, document):
         assert document["ops"]["decode_session"]["min_s"] > 0.0
-        assert document["schema_version"] == 6
+        assert document["schema_version"] == PROFILE_SCHEMA_VERSION
 
     def test_session_amortises_vs_sequential_at_batch_4(self, document):
         decode = document["decode"]
